@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark harness.
+
+Every file regenerates one table/figure/claim from the paper (see the
+per-experiment index in DESIGN.md) and prints the rows it reports; run
+with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+import pytest
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Render one experiment's output table."""
+    print(f"\n### {title}")
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(header)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def table_printer():
+    return print_table

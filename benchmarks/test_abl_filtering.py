@@ -1,0 +1,107 @@
+"""ABL-FILT: ablation — threshold filter on/off under noise and temperature.
+
+DESIGN.md ablation 2: the Fig. 3 filter costs CRPs; what does it buy?
+Compares the retained-bit error rate with and without the enrollment
+filter across noise scales and temperatures, and reports the CRP budget
+spent.  Also compares against the complementary techniques (majority
+voting, dark-bit masking) from :mod:`repro.quality.compensation`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.puf import PUFEnvironment, ROPUF, SRAMPUF
+from repro.quality.compensation import DarkBitMask, MajorityVoteReader
+from repro.quality.filtering import ThresholdFilter
+
+
+def _filtered_error(puf, threshold, env, n_measurements=6):
+    margins = puf.all_margins(measurement=0)
+    mask = ThresholdFilter(threshold).select(margins)
+    if mask.sum() == 0:
+        return float("nan"), 0.0
+    reference = (margins > 0).astype(np.uint8)[mask]
+    errors = []
+    for m in range(1, n_measurements):
+        bits = (puf.all_margins(env, measurement=m) > 0).astype(np.uint8)[mask]
+        errors.append(np.mean(bits != reference))
+    return float(np.mean(errors)), float(mask.mean())
+
+
+def test_abl_filt_noise_sweep(benchmark, table_printer):
+    puf = ROPUF(n_ros=1024, seed=190, sigma_noise=6e-4)
+    sigma = np.abs(puf.all_margins(measurement=0)).std()
+    rows = []
+    for noise_scale in (1.0, 3.0, 6.0):
+        env = PUFEnvironment(noise_scale=noise_scale)
+        raw_error, __ = _filtered_error(puf, 0.0, env)
+        filtered_error, surviving = _filtered_error(puf, 0.6 * sigma, env)
+        rows.append((f"{noise_scale:.0f}x", f"{raw_error:.4f}",
+                     f"{filtered_error:.4f}", f"{surviving:.2f}"))
+    table_printer(
+        "ABL-FILT — RO PUF error rate, filter off vs on (0.6 sigma)",
+        ["noise scale", "unfiltered error", "filtered error",
+         "surviving CRPs"],
+        rows,
+    )
+    benchmark.pedantic(_filtered_error, args=(puf, 0.6 * sigma,
+                                              PUFEnvironment()),
+                       rounds=1, iterations=1)
+    # The filter must help at every noise level where errors exist.
+    for __, raw, filtered, surviving in rows:
+        if float(raw) > 0:
+            assert float(filtered) <= float(raw)
+        assert 0.1 < float(surviving) < 1.0
+
+
+def test_abl_filt_temperature_sweep(benchmark, table_printer):
+    puf = ROPUF(n_ros=1024, seed=191, sigma_noise=6e-4)
+    sigma = np.abs(puf.all_margins(measurement=0)).std()
+    rows = []
+    for temperature in (0.0, 25.0, 65.0):
+        env = PUFEnvironment(temperature_c=temperature)
+        raw_error, __ = _filtered_error(puf, 0.0, env)
+        filtered_error, surviving = _filtered_error(puf, 0.6 * sigma, env)
+        rows.append((f"{temperature:.0f} C", f"{raw_error:.4f}",
+                     f"{filtered_error:.4f}", f"{surviving:.2f}"))
+    table_printer(
+        "ABL-FILT — temperature robustness, filter off vs on",
+        ["temperature", "unfiltered error", "filtered error",
+         "surviving CRPs"],
+        rows,
+    )
+    for __, raw, filtered, _s in rows:
+        assert float(filtered) <= float(raw) + 1e-9
+
+
+def test_abl_filt_vs_other_techniques(benchmark, table_printer):
+    # The same reliability goal through the three mechanisms of Sec. II-B
+    # / Fig. 1: margin filtering, majority voting, dark-bit masking.
+    puf = SRAMPUF(n_cells=8192, seed=192, sigma_noise_mv=10.0)
+    quiet = PUFEnvironment(noise_scale=0.0)
+    truth = puf.power_up(quiet, measurement=0)
+
+    raw_error = np.mean([
+        np.mean(puf.power_up(measurement=m) != truth) for m in range(1, 6)
+    ])
+    voted = MajorityVoteReader(puf, n_votes=9).read(base_measurement=50)
+    voted_error = float(np.mean(voted != truth))
+    mask = DarkBitMask.enroll(puf, n_measurements=9)
+    masked_errors = np.mean([
+        np.mean(mask.apply(puf.power_up(measurement=m))
+                != mask.stable_reference())
+        for m in range(60, 65)
+    ])
+    rows = [
+        ("raw read", f"{raw_error:.4f}", "1.00"),
+        ("majority vote (9 reads)", f"{voted_error:.4f}", "1.00"),
+        ("dark-bit mask", f"{masked_errors:.4f}",
+         f"{mask.n_stable / puf.n_cells:.2f}"),
+    ]
+    table_printer(
+        "ABL-FILT — alternative reliability techniques (SRAM PUF)",
+        ["technique", "bit error rate", "bit budget"],
+        rows,
+    )
+    assert voted_error < raw_error
+    assert masked_errors < raw_error

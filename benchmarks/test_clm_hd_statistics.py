@@ -1,0 +1,72 @@
+"""CLM-HD: "fractional Hamming distance close to 50 % intra and inter-device".
+
+The paper's Sec. II-A quotes the microring-array architecture of [12] as
+achieving inter-device fractional HD close to 50 % with good intra-device
+stability.  This bench measures both distributions over a simulated wafer
+of photonic weak PUFs and over the strong PUF, and reports the classic
+quality table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import quality_report
+from repro.puf.photonic_strong import PhotonicStrongPUF
+from repro.puf.photonic_weak import photonic_weak_family
+
+
+def _weak_study(n_devices=16, n_measurements=5):
+    family = photonic_weak_family(n_devices, seed=100, n_rings=64,
+                                  n_wavelengths=4)
+    references, repeated = [], []
+    for device in family.devices():
+        measurements = [device.read_all(measurement=m)
+                        for m in range(n_measurements)]
+        references.append(measurements[0])
+        repeated.append(np.vstack(measurements))
+    return quality_report(np.vstack(references), repeated)
+
+
+def test_clm_hd_weak_puf(benchmark, table_printer):
+    report = benchmark.pedantic(_weak_study, rounds=1, iterations=1)
+    table_printer(
+        "CLM-HD — photonic weak PUF population statistics",
+        ["metric", "measured", "paper/[12] target"],
+        [
+            ("uniformity", f"{report.uniformity_mean:.4f}", "~0.5"),
+            ("uniqueness (inter-HD)", f"{report.uniqueness_mean:.4f}",
+             "close to 0.5"),
+            ("intra-HD (1 - reliability)",
+             f"{1 - report.reliability_mean:.4f}", "close to 0"),
+            ("bit-aliasing entropy", f"{report.aliasing_entropy_mean:.4f}",
+             "close to 1"),
+        ],
+    )
+    assert 0.4 < report.uniqueness_mean < 0.6
+    assert report.reliability_mean > 0.95
+    assert 0.35 < report.uniformity_mean < 0.65
+
+
+def test_clm_hd_strong_puf(benchmark, table_printer):
+    rng = np.random.default_rng(101)
+    challenges = rng.integers(0, 2, size=(40, 64), dtype=np.uint8)
+    devices = [PhotonicStrongPUF(seed=101, die_index=i) for i in range(6)]
+    responses = [d.evaluate_batch(challenges, measurement=0) for d in devices]
+    inter = [np.mean(responses[i] != responses[j])
+             for i in range(6) for j in range(i + 1, 6)]
+    intra = [np.mean(responses[i]
+                     != devices[i].evaluate_batch(challenges, measurement=1))
+             for i in range(6)]
+    table_printer(
+        "CLM-HD — photonic strong PUF (time-domain scrambler)",
+        ["metric", "measured", "target"],
+        [
+            ("inter-device fractional HD", f"{np.mean(inter):.4f}",
+             "close to 0.5"),
+            ("intra-device fractional HD", f"{np.mean(intra):.4f}",
+             "close to 0"),
+            ("uniformity", f"{np.mean(responses[0]):.4f}", "~0.5"),
+        ],
+    )
+    assert 0.35 < np.mean(inter) < 0.65
+    assert np.mean(intra) < 0.08

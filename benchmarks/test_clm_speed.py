@@ -1,0 +1,55 @@
+"""CLM-SPD: interrogation speed and response lifetime (Secs. II-A, IV).
+
+Claims: 25 Gbit/s modulation (demonstrated architecture), >= 5 Gb/s pPUF
+challenge throughput for attestation, and a response that exists "for a
+very short period of time (below 100 ns)" after interrogation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.puf import PhotonicStrongPUF
+
+
+@pytest.fixture(scope="module")
+def puf():
+    return PhotonicStrongPUF(challenge_bits=64, response_bits=32, seed=150)
+
+
+def test_clm_spd_rates(benchmark, table_printer, puf):
+    table_printer(
+        "CLM-SPD — interrogation chain timing",
+        ["quantity", "value", "paper claim"],
+        [
+            ("modulation rate", f"{puf.throughput_bits_per_s() / 1e9:.0f} Gb/s",
+             "25 Gbit/s (Sec. II-A)"),
+            ("one interrogation",
+             f"{puf.interrogation_time_s() * 1e9:.2f} ns",
+             "64 challenge bits + guard"),
+            ("response lifetime",
+             f"{puf.response_lifetime_s() * 1e9:.2f} ns",
+             "< 100 ns (Sec. IV)"),
+            ("challenge throughput for attestation",
+             f"{1.0 / puf.interrogation_time_s() / 1e6:.1f} M CRP/s",
+             ">= 5 Gb/s equivalent"),
+        ],
+    )
+    assert puf.throughput_bits_per_s() >= 5e9
+    assert puf.response_lifetime_s() < 100e-9
+
+
+def test_clm_spd_simulation_kernel(benchmark, puf):
+    """Wall-clock cost of the *simulator* itself (not the physics)."""
+    rng = np.random.default_rng(150)
+    challenges = rng.integers(0, 2, size=(16, 64), dtype=np.uint8)
+    benchmark(puf.evaluate_batch, challenges)
+
+
+def test_clm_spd_attestation_rate_requirement(benchmark, puf):
+    # Attestation consumes one CRP per hashed chunk; at 100 MHz the hash
+    # takes ~60 us, the pPUF ~3 ns: four orders of magnitude of margin.
+    from repro.system.cpu import ProcessorModel
+
+    hash_time = ProcessorModel().hash_time(256 + 64)
+    margin = hash_time / puf.interrogation_time_s()
+    assert margin > 1e3

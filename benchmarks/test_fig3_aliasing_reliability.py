@@ -1,0 +1,91 @@
+"""FIG3 / FIG3-P: bit-aliasing entropy and reliability vs. selection threshold.
+
+Regenerates the paper's Fig. 3 ([13]): as the enrollment threshold on the
+analog margin moves away from the decision boundary, reliability rises
+toward 1 while the bit-aliasing Shannon entropy collapses (the systematic
+layout component dominates extreme margins), and the surviving CRP count
+shrinks.  The shaded trade-off region of the figure is the band where
+both entropy and reliability stay above their floors.
+
+FIG3 uses the RO PUF with counter-difference thresholds, exactly as [13];
+FIG3-P repeats it on the photonic weak PUF with photocurrent-amplitude
+thresholds, the adaptation the paper proposes in Sec. II-B.
+"""
+
+import numpy as np
+import pytest
+
+from repro.puf import PUFFamily, ROPUF
+from repro.puf.photonic_weak import photonic_weak_family
+from repro.quality.filtering import (
+    aliasing_reliability_sweep,
+    collect_population_data,
+    recommend_band,
+)
+
+
+@pytest.fixture(scope="module")
+def ro_population():
+    family = PUFFamily(
+        lambda die: ROPUF(n_ros=512, seed=70, die_index=die,
+                          sigma_noise=6e-4),
+        24,
+    )
+    return collect_population_data(family, n_measurements=7)
+
+
+@pytest.fixture(scope="module")
+def photonic_population():
+    family = photonic_weak_family(16, seed=71, n_rings=64, n_wavelengths=2)
+    return collect_population_data(family, n_measurements=5)
+
+
+def _sweep_rows(margins, bits, n_points=10):
+    thresholds = np.linspace(0.0, 2.5 * np.abs(margins).std(), n_points)
+    rows = aliasing_reliability_sweep(margins, bits, thresholds)
+    return thresholds, rows
+
+
+def test_fig3_ro_counter_threshold(benchmark, table_printer, ro_population):
+    margins, bits = ro_population
+    __, rows = benchmark.pedantic(
+        _sweep_rows, args=(margins, bits), rounds=1, iterations=1
+    )
+    table_printer(
+        "FIG3 — RO PUF: aliasing entropy / reliability vs counter threshold",
+        ["threshold (counts)", "aliasing entropy", "reliability",
+         "surviving CRPs"],
+        [(f"{r.threshold:8.1f}", f"{r.aliasing_entropy:.3f}",
+          f"{r.reliability:.4f}", f"{r.surviving_fraction:.3f}")
+         for r in rows],
+    )
+    finite = [r for r in rows if not np.isnan(r.aliasing_entropy)]
+    # Paper-shape assertions: entropy decreases, reliability increases.
+    assert finite[0].aliasing_entropy > finite[-1].aliasing_entropy + 0.2
+    assert finite[-1].reliability >= finite[0].reliability
+    assert finite[0].surviving_fraction == 1.0
+    band = recommend_band(rows, min_entropy=0.7, min_reliability=0.98)
+    assert band is not None, "the shaded trade-off region must exist"
+    print(f"trade-off band (shaded region): thresholds {band[0]:.1f}"
+          f" .. {band[1]:.1f} counts")
+
+
+def test_fig3p_photonic_photocurrent_threshold(benchmark, table_printer,
+                                               photonic_population):
+    margins, bits = photonic_population
+    __, rows = benchmark.pedantic(
+        _sweep_rows, args=(margins, bits), rounds=1, iterations=1
+    )
+    table_printer(
+        "FIG3-P — photonic weak PUF: photocurrent-amplitude threshold",
+        ["threshold (V)", "aliasing entropy", "reliability",
+         "surviving CRPs"],
+        [(f"{r.threshold:.4f}", f"{r.aliasing_entropy:.3f}",
+          f"{r.reliability:.4f}", f"{r.surviving_fraction:.3f}")
+         for r in rows],
+    )
+    finite = [r for r in rows if not np.isnan(r.aliasing_entropy)]
+    assert finite[0].surviving_fraction == 1.0
+    assert finite[-1].surviving_fraction < 0.5
+    # Same qualitative shape as the RO case.
+    assert finite[0].aliasing_entropy > finite[-1].aliasing_entropy

@@ -1,0 +1,94 @@
+"""TAB1: the load_network / execute_network encrypted API of Table I.
+
+Regenerates the table's semantics and measures the service: ciphertext
+in, ciphertext out, plaintext never software-visible, keys never exposed,
+tampered ciphertexts rejected — plus service latency on the SoC model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.network import LayerConfig, NetworkConfig
+from repro.protocols.nn_service import (
+    KeyVault,
+    NetworkOwner,
+    SecureAccelerator,
+    ServiceError,
+)
+from repro.system.soc import DeviceSoC, SoCConfig
+
+
+@pytest.fixture(scope="module")
+def service():
+    soc = DeviceSoC(SoCConfig(seed=90, memory_size=8 * 1024))
+    vault = KeyVault(soc, seed=90)
+    accelerator = SecureAccelerator(soc, vault)
+    owner = NetworkOwner(vault)
+    rng = np.random.default_rng(90)
+    config = NetworkConfig(layers=[
+        LayerConfig(rng.normal(size=(16, 8)), rng.normal(size=16), "relu"),
+        LayerConfig(rng.normal(size=(4, 16)), rng.normal(size=4), "linear"),
+    ])
+    return soc, accelerator, owner, config
+
+
+def test_tab1_load_network(benchmark, table_printer, service):
+    __, accelerator, owner, config = service
+    sealed = owner.seal_network(config)
+
+    benchmark.pedantic(accelerator.load_network, args=(sealed,),
+                       rounds=3, iterations=1)
+    table_printer(
+        "TAB1 — load_network(ciphered_network)",
+        ["quantity", "value"],
+        [
+            ("ciphertext bytes", len(sealed)),
+            ("programmed MZIs", accelerator.accelerator.n_mzis()),
+            ("hardware decrypt+program latency (ms)",
+             f"{accelerator.load_time_s * 1e3:.3f}"),
+        ],
+    )
+
+
+def test_tab1_execute_network(benchmark, table_printer, service):
+    __, accelerator, owner, config = service
+    accelerator.load_network(owner.seal_network(config))
+    sealed_input = owner.seal_input(np.linspace(-1, 1, 8))
+
+    sealed_output = benchmark(accelerator.execute_network, sealed_input)
+    output = owner.open_output(sealed_output)
+    table_printer(
+        "TAB1 — execute_network(ciphered_input) -> ciphered_output",
+        ["quantity", "value"],
+        [
+            ("input ciphertext bytes", len(sealed_input)),
+            ("output ciphertext bytes", len(sealed_output)),
+            ("output dimension", output.size),
+            ("service latency (ms)",
+             f"{accelerator.execute_time_s * 1e3:.3f}"),
+        ],
+    )
+    assert output.size == 4
+
+
+def test_tab1_confidentiality_properties(benchmark, service):
+    __, accelerator, owner, config = service
+    accelerator.load_network(owner.seal_network(config))
+    x = np.linspace(0, 1, 8)
+    sealed_out = accelerator.execute_network(owner.seal_input(x))
+    plain_out = owner.open_output(sealed_out)
+    # Table I semantics: nothing plaintext crosses to software.
+    for secret in (config.serialize(), x.tobytes(), plain_out.tobytes()):
+        for visible in accelerator.software_visible_log:
+            assert secret not in visible
+    # Key never exposed.
+    assert not hasattr(accelerator.vault, "master_key")
+
+
+def test_tab1_integrity_enforced(benchmark, service):
+    __, accelerator, owner, config = service
+    accelerator.load_network(owner.seal_network(config))
+    tampered = bytearray(owner.seal_input(np.zeros(8)))
+    tampered[18] ^= 1
+    with pytest.raises(ServiceError):
+        accelerator.execute_network(bytes(tampered))

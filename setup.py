@@ -1,0 +1,6 @@
+"""Legacy setup shim: the sandbox lacks the `wheel` package, so PEP 660
+editable installs fail; `pip install -e . --no-use-pep517` uses this file."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — behavioral reproduction of the NEUROPULS security layers (DATE 2024).
+
+Subpackages
+-----------
+- :mod:`repro.utils` — bit arrays, deterministic RNG streams, serialization
+- :mod:`repro.photonics` — silicon-photonics component/circuit models
+- :mod:`repro.puf` — photonic + electronic PUF primitives
+- :mod:`repro.metrics` — PUF quality metrics and NIST-style statistical tests
+- :mod:`repro.quality` — response filtering and compensation
+- :mod:`repro.crypto` — ECC, fuzzy extraction, lightweight ciphers, MAC, DRBG
+- :mod:`repro.attacks` — modeling, side-channel, remanence, protocol attacks
+- :mod:`repro.accelerator` — neuromorphic photonic accelerator model
+- :mod:`repro.system` — discrete-event system/SoC model
+- :mod:`repro.protocols` — mutual authentication, attestation, NN service, AKA
+
+Quickstart
+----------
+>>> from repro import DeviceSoC, provision, run_session
+>>> soc = DeviceSoC()
+>>> device, verifier = provision(soc)
+>>> run_session(device, verifier).success
+True
+"""
+
+from repro.protocols import provision, run_session
+from repro.puf import (
+    ArbiterPUF,
+    PhotonicStrongPUF,
+    PhotonicWeakPUF,
+    PUFEnvironment,
+    ROPUF,
+    SRAMPUF,
+)
+from repro.system import DeviceSoC, SoCConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "provision",
+    "run_session",
+    "ArbiterPUF",
+    "PhotonicStrongPUF",
+    "PhotonicWeakPUF",
+    "PUFEnvironment",
+    "ROPUF",
+    "SRAMPUF",
+    "DeviceSoC",
+    "SoCConfig",
+    "__version__",
+]

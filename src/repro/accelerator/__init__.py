@@ -1,0 +1,33 @@
+"""Neuromorphic photonic accelerator: PCM weights, MZI meshes, reservoir."""
+
+from repro.accelerator.mesh import (
+    PhotonicMatrixUnit,
+    reck_compose,
+    reck_decompose,
+)
+from repro.accelerator.network import (
+    LayerConfig,
+    NetworkConfig,
+    NeuromorphicAccelerator,
+    photodetector_relu,
+    reference_forward,
+    saturable_absorber,
+)
+from repro.accelerator.pcm import PCMCellArray, PCMModel
+from repro.accelerator.reservoir import PhotonicReservoir, narma10
+
+__all__ = [
+    "PhotonicMatrixUnit",
+    "reck_compose",
+    "reck_decompose",
+    "LayerConfig",
+    "NetworkConfig",
+    "NeuromorphicAccelerator",
+    "photodetector_relu",
+    "reference_forward",
+    "saturable_absorber",
+    "PCMCellArray",
+    "PCMModel",
+    "PhotonicReservoir",
+    "narma10",
+]

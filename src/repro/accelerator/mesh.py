@@ -1,0 +1,141 @@
+"""Programmable MZI-mesh linear optics for the neuromorphic accelerator.
+
+A unitary matrix is realised as a triangular (Reck-style) cascade of 2x2
+MZI rotations plus an output phase screen; an arbitrary real matrix is
+realised as U Sigma V^dagger (SVD): mesh - attenuator column - mesh, the
+standard coherent photonic matrix-multiplier architecture.
+
+Hardware imperfection enters per MZI: each programmed 2x2 rotation is
+perturbed by a small random rotation (phase-setting error), which is what
+limits inference accuracy on the physical accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+def reck_decompose(unitary: np.ndarray) -> Tuple[List[Tuple[int, np.ndarray]], np.ndarray]:
+    """Decompose a unitary into 2x2 rotations on adjacent modes.
+
+    Returns ``(rotations, diagonal)`` such that
+
+        U = (R_1^dagger R_2^dagger ... R_k^dagger) @ diag(phases)
+
+    where each ``R`` is returned as ``(top_mode, 2x2 unitary)`` acting on
+    modes (top_mode, top_mode + 1) and the list is given in application
+    order for reconstruction (see :func:`reck_compose`).
+    """
+    u = np.array(unitary, dtype=np.complex128)
+    n = u.shape[0]
+    if u.shape != (n, n):
+        raise ValueError("matrix must be square")
+    if not np.allclose(u @ u.conj().T, np.eye(n), atol=1e-8):
+        raise ValueError("matrix is not unitary")
+    rotations: List[Tuple[int, np.ndarray]] = []
+    for col in range(n - 1):
+        for row in range(n - 1, col, -1):
+            a, b = u[row - 1, col], u[row, col]
+            if abs(b) < 1e-14:
+                continue  # element already null: no MZI needed
+            norm = np.sqrt(abs(a) ** 2 + abs(b) ** 2)
+            givens = np.array([[np.conj(a), np.conj(b)],
+                               [-b, a]], dtype=np.complex128) / norm
+            embed = np.eye(n, dtype=np.complex128)
+            embed[row - 1:row + 1, row - 1:row + 1] = givens
+            u = embed @ u
+            rotations.append((row - 1, givens))
+    diagonal = np.diag(u).copy()
+    if not np.allclose(u, np.diag(diagonal), atol=1e-8):
+        raise AssertionError("nulling did not reach diagonal form")
+    return rotations, diagonal
+
+
+def reck_compose(
+    rotations: List[Tuple[int, np.ndarray]],
+    diagonal: np.ndarray,
+    imperfection_sigma: float = 0.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Rebuild the unitary from its decomposition, with MZI errors.
+
+    ``imperfection_sigma`` is the std. dev. (radians) of the per-MZI phase
+    programming error; zero rebuilds the exact matrix.
+    """
+    n = diagonal.size
+    result = np.diag(np.asarray(diagonal, dtype=np.complex128))
+    rng = derive_rng(seed, "mesh", "imperfection")
+    for index in range(len(rotations) - 1, -1, -1):
+        top, givens = rotations[index]
+        block = givens.conj().T
+        if imperfection_sigma > 0:
+            theta = rng.normal(0.0, imperfection_sigma)
+            phi = rng.normal(0.0, imperfection_sigma)
+            error = np.array([
+                [np.cos(theta) * np.exp(1j * phi), -np.sin(theta)],
+                [np.sin(theta), np.cos(theta) * np.exp(-1j * phi)],
+            ], dtype=np.complex128)
+            block = error @ block
+        embed = np.eye(n, dtype=np.complex128)
+        embed[top:top + 2, top:top + 2] = block
+        result = embed @ result
+    return result
+
+
+@dataclass
+class PhotonicMatrixUnit:
+    """Coherent photonic multiplier for an arbitrary real matrix.
+
+    The matrix is factored as ``W = U diag(s) V^h`` and realised as two
+    MZI meshes around an attenuator column.  Singular values are
+    normalised so every attenuator transmission is <= 1; the overall scale
+    is re-applied electronically after detection.
+    """
+
+    weights: np.ndarray
+    imperfection_sigma: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.weights, dtype=np.float64)
+        if w.ndim != 2:
+            raise ValueError("weights must be a matrix")
+        u, s, vh = np.linalg.svd(w)
+        self._scale = float(s.max()) if s.size and s.max() > 0 else 1.0
+        self._attenuations = s / self._scale
+        rot_u, diag_u = reck_decompose(u)
+        rot_v, diag_v = reck_decompose(vh)
+        self._u = reck_compose(rot_u, diag_u, self.imperfection_sigma, self.seed)
+        self._vh = reck_compose(rot_v, diag_v, self.imperfection_sigma, self.seed + 1)
+        self._n_mzis = len(rot_u) + len(rot_v)
+
+    @property
+    def n_mzis(self) -> int:
+        """MZI count — the optical footprint of this layer."""
+        return self._n_mzis
+
+    def apply(self, x: np.ndarray, noise_sigma: float = 0.0,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """y = W x through the (imperfect) optical path.
+
+        Input is encoded as field amplitudes, output is coherently
+        detected (real part), with optional additive detection noise.
+        """
+        x = np.asarray(x, dtype=np.complex128)
+        if x.shape[-1] != self._vh.shape[1]:
+            raise ValueError("input dimension mismatch")
+        modes = x @ self._vh.T
+        full = np.zeros(modes.shape[:-1] + (self._u.shape[1],),
+                        dtype=np.complex128)
+        k = self._attenuations.size
+        full[..., :k] = modes[..., :k] * self._attenuations
+        detected = np.real(full @ self._u.T) * self._scale
+        if noise_sigma > 0:
+            rng = rng or np.random.default_rng(self.seed + 99)
+            detected = detected + rng.normal(0.0, noise_sigma, size=detected.shape)
+        return detected

@@ -1,0 +1,214 @@
+"""Neuromorphic network running on the photonic accelerator.
+
+A feed-forward network whose dense layers execute on
+:class:`~repro.accelerator.mesh.PhotonicMatrixUnit` hardware with
+PCM-quantised weights, plus the byte-level configuration format the
+security services encrypt (paper Sec. III-C: ``load_network`` receives
+the network *ciphered*; Table I).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.accelerator.mesh import PhotonicMatrixUnit
+from repro.accelerator.pcm import PCMCellArray, PCMModel
+
+
+def photodetector_relu(x: np.ndarray) -> np.ndarray:
+    """Rectifying opto-electronic nonlinearity (PD + thresholding)."""
+    return np.maximum(x, 0.0)
+
+
+def saturable_absorber(x: np.ndarray) -> np.ndarray:
+    """Saturable-absorption nonlinearity: tanh-like optical squashing."""
+    return np.tanh(x)
+
+
+_ACTIVATIONS = {
+    "relu": photodetector_relu,
+    "tanh": saturable_absorber,
+    "linear": lambda x: x,
+}
+
+
+@dataclass
+class LayerConfig:
+    """One dense layer: weights, bias, activation name."""
+
+    weights: np.ndarray
+    bias: np.ndarray
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        self.bias = np.asarray(self.bias, dtype=np.float64)
+        if self.weights.ndim != 2:
+            raise ValueError("layer weights must be a matrix")
+        if self.bias.shape != (self.weights.shape[0],):
+            raise ValueError("bias shape must match the output dimension")
+        if self.activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {self.activation!r}")
+
+
+@dataclass
+class NetworkConfig:
+    """Serialisable network description (the object that gets encrypted)."""
+
+    layers: List[LayerConfig]
+
+    def serialize(self) -> bytes:
+        """Canonical byte encoding of the configuration."""
+        payload = []
+        for layer in self.layers:
+            payload.append({
+                "weights": layer.weights.tolist(),
+                "bias": layer.bias.tolist(),
+                "activation": layer.activation,
+            })
+        return json.dumps(payload, separators=(",", ":")).encode()
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "NetworkConfig":
+        try:
+            payload = json.loads(data.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"malformed network configuration: {exc}") from exc
+        layers = [
+            LayerConfig(
+                weights=np.asarray(entry["weights"], dtype=np.float64),
+                bias=np.asarray(entry["bias"], dtype=np.float64),
+                activation=entry.get("activation", "relu"),
+            )
+            for entry in payload
+        ]
+        return cls(layers=layers)
+
+    @property
+    def input_dim(self) -> int:
+        return self.layers[0].weights.shape[1]
+
+    @property
+    def output_dim(self) -> int:
+        return self.layers[-1].weights.shape[0]
+
+
+class _ProgrammedLayer:
+    """A layer as physically programmed: PCM cells + MZI mesh."""
+
+    def __init__(self, layer: LayerConfig, pcm_model: PCMModel,
+                 mesh_sigma: float, seed: int):
+        self.bias = layer.bias
+        self.activation = layer.activation
+        self.sign = np.sign(layer.weights)
+        magnitude = np.abs(layer.weights)
+        self.top = float(magnitude.max()) if magnitude.size else 0.0
+        self.pcm = PCMCellArray(layer.weights.shape, pcm_model, seed=seed)
+        if self.top > 0:
+            self.pcm.program_levels(self.pcm.quantize_weights(magnitude / self.top))
+        self._mesh_sigma = mesh_sigma
+        self._seed = seed
+        self._unit: Optional[PhotonicMatrixUnit] = None
+        self._unit_age = -1.0
+
+    def realized_weights(self, age_seconds: float) -> np.ndarray:
+        """Weight matrix as the hardware currently realises it."""
+        if self.top == 0:
+            return np.zeros_like(self.sign)
+        return self.sign * self.pcm.transmissions(age_seconds) * self.top
+
+    def unit(self, age_seconds: float) -> PhotonicMatrixUnit:
+        """MZI mesh for the current (drifted) weights, cached per age."""
+        if self._unit is None or self._unit_age != age_seconds:
+            self._unit = PhotonicMatrixUnit(
+                self.realized_weights(age_seconds),
+                imperfection_sigma=self._mesh_sigma,
+                seed=self._seed,
+            )
+            self._unit_age = age_seconds
+        return self._unit
+
+
+class NeuromorphicAccelerator:
+    """Photonic inference engine with PCM weight storage.
+
+    Weights are split into sign and magnitude; magnitudes are quantised
+    into PCM transmission levels (write noise, drift), and each layer's
+    matrix-vector product runs through an MZI mesh with per-MZI phase
+    error.  ``mesh_imperfection_sigma=0`` with a fine-grained PCM model
+    approaches the ideal digital reference.
+    """
+
+    def __init__(
+        self,
+        mesh_imperfection_sigma: float = 0.005,
+        pcm_model: Optional[PCMModel] = None,
+        detection_noise: float = 0.0,
+        seed: int = 0,
+    ):
+        self.mesh_imperfection_sigma = mesh_imperfection_sigma
+        self.pcm_model = pcm_model if pcm_model is not None else PCMModel()
+        self.detection_noise = detection_noise
+        self.seed = seed
+        self._layers: List[_ProgrammedLayer] = []
+        self._config: Optional[NetworkConfig] = None
+        self._age_seconds = 0.0
+
+    @property
+    def is_loaded(self) -> bool:
+        return self._config is not None
+
+    @property
+    def age_seconds(self) -> float:
+        return self._age_seconds
+
+    def load(self, config: NetworkConfig) -> None:
+        """Program the network into the photonic hardware."""
+        self._layers = [
+            _ProgrammedLayer(layer, self.pcm_model,
+                             self.mesh_imperfection_sigma,
+                             seed=self.seed * 1000 + index)
+            for index, layer in enumerate(config.layers)
+        ]
+        self._config = config
+        self._age_seconds = 0.0
+
+    def age(self, seconds: float) -> None:
+        """Advance PCM drift time (weights fade slightly)."""
+        if seconds < 0:
+            raise ValueError("cannot age backwards")
+        self._age_seconds += seconds
+
+    def infer(self, x: Sequence[float]) -> np.ndarray:
+        """Run one input through the loaded network."""
+        if self._config is None:
+            raise RuntimeError("no network loaded")
+        activation = np.asarray(x, dtype=np.float64)
+        rng = np.random.default_rng(self.seed + 7)
+        for layer in self._layers:
+            unit = layer.unit(self._age_seconds)
+            z = unit.apply(activation, self.detection_noise, rng) + layer.bias
+            activation = _ACTIVATIONS[layer.activation](z)
+        return activation
+
+    def infer_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised inference over rows of ``xs``."""
+        xs = np.atleast_2d(np.asarray(xs, dtype=np.float64))
+        return np.vstack([self.infer(x) for x in xs])
+
+    def n_mzis(self) -> int:
+        """Total MZI count of the programmed network."""
+        return sum(layer.unit(self._age_seconds).n_mzis for layer in self._layers)
+
+
+def reference_forward(config: NetworkConfig, x: Sequence[float]) -> np.ndarray:
+    """Ideal digital forward pass (ground truth for accuracy studies)."""
+    activation = np.asarray(x, dtype=np.float64)
+    for layer in config.layers:
+        z = layer.weights @ activation + layer.bias
+        activation = _ACTIVATIONS[layer.activation](z)
+    return activation

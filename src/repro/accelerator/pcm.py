@@ -1,0 +1,102 @@
+"""Phase-change material (PCM) weight cells.
+
+NEUROPULS builds its neuromorphic accelerator on "phase change materials
+augmented silicon photonics" [11]: synaptic weights are stored as the
+optical transmission of a PCM patch on a waveguide, programmed between
+amorphous (transparent-ish, low loss... high transmission) and crystalline
+(absorbing) states.  The model captures the properties the security
+services care about: quantised programmable levels, programming noise,
+and conductance drift over time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class PCMModel:
+    """Technology parameters of a PCM weight cell.
+
+    Attributes
+    ----------
+    n_levels:
+        Number of programmable transmission levels.
+    t_min / t_max:
+        Optical power transmission of the fully crystalline / fully
+        amorphous states.
+    sigma_program:
+        Relative programming inaccuracy (per write).
+    drift_nu:
+        Drift exponent: T(t) = T(t0) * (t / t0)^(-nu) toward lower
+        transmission, the standard PCM resistance-drift law mapped onto
+        transmission.
+    """
+
+    n_levels: int = 16
+    t_min: float = 0.05
+    t_max: float = 0.95
+    sigma_program: float = 0.01
+    drift_nu: float = 0.02
+    t0_seconds: float = 60.0
+
+    def level_transmission(self, level: int) -> float:
+        """Nominal transmission of a programmed level."""
+        if not 0 <= level < self.n_levels:
+            raise ValueError(f"level {level} out of range [0, {self.n_levels})")
+        fraction = level / (self.n_levels - 1)
+        return self.t_min + (self.t_max - self.t_min) * fraction
+
+
+class PCMCellArray:
+    """A programmable array of PCM cells with drift and write noise."""
+
+    def __init__(self, shape, model: Optional[PCMModel] = None, seed: int = 0):
+        self.shape = tuple(shape)
+        self.model = model or PCMModel()
+        self.seed = seed
+        self._levels = np.zeros(self.shape, dtype=np.int64)
+        self._programmed = np.full(self.shape, self.model.t_max, dtype=np.float64)
+        self._write_count = 0
+
+    def program_levels(self, levels: np.ndarray) -> None:
+        """Write quantised levels into the array (one write pulse each)."""
+        levels = np.asarray(levels, dtype=np.int64)
+        if levels.shape != self.shape:
+            raise ValueError(f"levels must have shape {self.shape}")
+        if levels.min() < 0 or levels.max() >= self.model.n_levels:
+            raise ValueError("level out of range")
+        rng = derive_rng(self.seed, "pcm", "write", self._write_count)
+        self._write_count += 1
+        nominal = (self.model.t_min
+                   + (self.model.t_max - self.model.t_min)
+                   * levels / (self.model.n_levels - 1))
+        noise = 1.0 + rng.normal(0.0, self.model.sigma_program, size=self.shape)
+        self._levels = levels
+        self._programmed = np.clip(nominal * noise, 0.0, 1.0)
+
+    def quantize_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Map real weights in [0, 1] to the nearest programmable level."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.min() < 0.0 or weights.max() > 1.0:
+            raise ValueError("weights must be normalised to [0, 1]")
+        return np.round(weights * (self.model.n_levels - 1)).astype(np.int64)
+
+    def transmissions(self, age_seconds: float = 0.0) -> np.ndarray:
+        """Current transmission of every cell, including drift."""
+        if age_seconds < 0:
+            raise ValueError("age must be non-negative")
+        if age_seconds <= self.model.t0_seconds:
+            return self._programmed.copy()
+        drift = (age_seconds / self.model.t0_seconds) ** (-self.model.drift_nu)
+        return np.clip(self._programmed * drift, 0.0, 1.0)
+
+    @property
+    def levels(self) -> np.ndarray:
+        return self._levels.copy()

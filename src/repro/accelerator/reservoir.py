@@ -1,0 +1,131 @@
+"""Photonic reservoir computing layer.
+
+The paper motivates the strong PUF's memory effects by analogy to
+reservoir computing (Sec. II-A); the NEUROPULS accelerator itself offers
+a reservoir mode where a fixed random photonic network provides the
+temporal feature expansion and only a linear readout is trained.  This
+module implements an echo-state reservoir with photonic-flavoured
+parameters (saturable-absorber nonlinearity, fixed random interferometric
+coupling) and a ridge-regression readout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+class PhotonicReservoir:
+    """Echo-state network with a fixed photonic coupling matrix.
+
+    Parameters
+    ----------
+    n_nodes:
+        Reservoir dimensionality (number of photonic nodes).
+    spectral_radius:
+        Largest |eigenvalue| of the recurrent coupling after rescaling;
+        < 1 gives the echo-state (fading memory) property — the same
+        fading memory the strong PUF's rings exhibit.
+    input_scale:
+        Gain applied to the scalar input stream.
+    leak:
+        Leaky-integrator coefficient (photodetector bandwidth analogue).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int = 64,
+        spectral_radius: float = 0.9,
+        input_scale: float = 1.0,
+        leak: float = 0.8,
+        seed: int = 0,
+    ):
+        if not 0 < spectral_radius < 1:
+            raise ValueError("spectral radius must lie in (0, 1) for echo state")
+        if not 0 < leak <= 1:
+            raise ValueError("leak must lie in (0, 1]")
+        self.n_nodes = n_nodes
+        self.spectral_radius = spectral_radius
+        self.input_scale = input_scale
+        self.leak = leak
+        rng = derive_rng(seed, "reservoir", "coupling")
+        coupling = rng.normal(0.0, 1.0, size=(n_nodes, n_nodes))
+        radius = float(np.max(np.abs(np.linalg.eigvals(coupling))))
+        self._coupling = coupling * (spectral_radius / radius)
+        self._input_weights = derive_rng(seed, "reservoir", "input").uniform(
+            -input_scale, input_scale, size=n_nodes
+        )
+        self._readout: Optional[np.ndarray] = None
+
+    def run(self, inputs: np.ndarray, washout: int = 10) -> np.ndarray:
+        """Collect reservoir states for a scalar input sequence.
+
+        Returns states of shape (len(inputs) - washout, n_nodes + 1); the
+        final column is a constant bias term.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64).ravel()
+        if inputs.size <= washout:
+            raise ValueError("sequence shorter than the washout period")
+        state = np.zeros(self.n_nodes)
+        collected = []
+        for step, u in enumerate(inputs):
+            preactivation = self._coupling @ state + self._input_weights * u
+            state = ((1 - self.leak) * state
+                     + self.leak * np.tanh(preactivation))
+            if step >= washout:
+                collected.append(np.concatenate([state, [1.0]]))
+        return np.vstack(collected)
+
+    def fit_readout(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        washout: int = 10,
+        ridge: float = 1e-6,
+    ) -> float:
+        """Train the linear readout by ridge regression; returns train NRMSE."""
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        states = self.run(inputs, washout)
+        y = targets[washout:]
+        if states.shape[0] != y.size:
+            raise ValueError("inputs and targets must have equal length")
+        gram = states.T @ states + ridge * np.eye(states.shape[1])
+        self._readout = np.linalg.solve(gram, states.T @ y)
+        predictions = states @ self._readout
+        return _nrmse(predictions, y)
+
+    def predict(self, inputs: np.ndarray, washout: int = 10) -> np.ndarray:
+        """Readout predictions for a fresh input sequence."""
+        if self._readout is None:
+            raise RuntimeError("fit_readout() must be called first")
+        states = self.run(inputs, washout)
+        return states @ self._readout
+
+    def score(self, inputs: np.ndarray, targets: np.ndarray,
+              washout: int = 10) -> float:
+        """NRMSE on a held-out sequence."""
+        predictions = self.predict(inputs, washout)
+        return _nrmse(predictions, np.asarray(targets).ravel()[washout:])
+
+
+def _nrmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    scale = np.std(targets)
+    if scale == 0:
+        scale = 1.0
+    return float(np.sqrt(np.mean((predictions - targets) ** 2)) / scale)
+
+
+def narma10(n_steps: int, seed: int = 0) -> tuple:
+    """The NARMA-10 benchmark sequence (standard reservoir task)."""
+    rng = derive_rng(seed, "narma10")
+    u = rng.uniform(0.0, 0.5, size=n_steps)
+    y = np.zeros(n_steps)
+    for t in range(9, n_steps - 1):
+        y[t + 1] = (0.3 * y[t]
+                    + 0.05 * y[t] * y[t - 9:t + 1].sum()
+                    + 1.5 * u[t - 9] * u[t]
+                    + 0.1)
+    return u, y

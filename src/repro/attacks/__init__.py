@@ -1,0 +1,60 @@
+"""Attack models: ML modeling, side channels, remanence, guessing costs.
+
+Protocol-level attacks (replay, desynchronisation, attestation evasion)
+live in :mod:`repro.attacks.protocol_attacks` once the protocols they
+target are imported; see :mod:`repro.protocols`.
+"""
+
+from repro.attacks.brute_force import (
+    GuessingCost,
+    guessing_cost,
+    online_guess_success_probability,
+    response_entropy_bits,
+)
+from repro.attacks.modeling import (
+    AttackCurvePoint,
+    LogisticRegressionAttack,
+    MLPAttack,
+    attack_curve,
+    collect_crps,
+    raw_features,
+)
+from repro.attacks.remanence import (
+    RemanencePoint,
+    photonic_remanence_attempt,
+    sram_remanence_sweep,
+)
+from repro.attacks.side_channel import (
+    ELECTRONIC_LEAKAGE,
+    PHOTONIC_LEAKAGE,
+    LeakageModel,
+    SideChannelReport,
+    compare_technologies,
+    hamming_weight_recovery,
+    leakage_correlation,
+    simulate_traces,
+)
+
+__all__ = [
+    "GuessingCost",
+    "guessing_cost",
+    "online_guess_success_probability",
+    "response_entropy_bits",
+    "AttackCurvePoint",
+    "LogisticRegressionAttack",
+    "MLPAttack",
+    "attack_curve",
+    "collect_crps",
+    "raw_features",
+    "RemanencePoint",
+    "photonic_remanence_attempt",
+    "sram_remanence_sweep",
+    "ELECTRONIC_LEAKAGE",
+    "PHOTONIC_LEAKAGE",
+    "LeakageModel",
+    "SideChannelReport",
+    "compare_technologies",
+    "hamming_weight_recovery",
+    "leakage_correlation",
+    "simulate_traces",
+]

@@ -1,0 +1,213 @@
+"""Machine-learning modeling attacks on PUFs.
+
+Paper Sec. IV: "by acquiring a sufficiently large number of CRPs (for
+strong PUFs), the adversary can build a model to predict the response to
+the next challenge" — and these attacks "have been particularly successful
+against common types of PUF, such as PUFs with ring oscillators (ROs) or
+arbiters" [28], while photonic PUFs "are expected to provide a greater
+gain with respect to modeling attacks".
+
+This module implements the attacker: a from-scratch logistic regression
+(the classic arbiter-PUF breaker, exact when given the parity feature
+transform) and a small multi-layer perceptron (for targets without a known
+linear form).  The CLM-ML bench sweeps training-set sizes and compares
+electronic vs photonic targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.puf.arbiter import parity_features
+from repro.puf.base import NOMINAL_ENV, PUFEnvironment, StrongPUF
+
+FeatureMap = Callable[[np.ndarray], np.ndarray]
+
+
+def raw_features(challenges: np.ndarray) -> np.ndarray:
+    """Challenge bits mapped to +-1 with a bias column."""
+    signs = 1.0 - 2.0 * np.atleast_2d(np.asarray(challenges, dtype=np.float64))
+    bias = np.ones((signs.shape[0], 1))
+    return np.hstack([signs, bias])
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+
+class LogisticRegressionAttack:
+    """Batch-gradient logistic regression over a pluggable feature map.
+
+    With ``feature_map=parity_features`` this is the textbook arbiter-PUF
+    attack: the target function is exactly linear in that space, so
+    accuracy approaches 100 % with a few thousand CRPs.
+    """
+
+    def __init__(
+        self,
+        feature_map: FeatureMap = parity_features,
+        learning_rate: float = 0.2,
+        epochs: int = 300,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        self.feature_map = feature_map
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self._weights: Optional[np.ndarray] = None
+
+    def fit(self, challenges: np.ndarray, responses: np.ndarray) -> "LogisticRegressionAttack":
+        features = np.asarray(self.feature_map(challenges), dtype=np.float64)
+        labels = np.asarray(responses, dtype=np.float64).ravel()
+        if features.shape[0] != labels.size:
+            raise ValueError("challenge and response counts disagree")
+        rng = np.random.default_rng(self.seed)
+        weights = rng.normal(0.0, 0.01, size=features.shape[1])
+        n = features.shape[0]
+        for __ in range(self.epochs):
+            predictions = _sigmoid(features @ weights)
+            gradient = features.T @ (predictions - labels) / n + self.l2 * weights
+            weights -= self.learning_rate * gradient
+        self._weights = weights
+        return self
+
+    def predict(self, challenges: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("fit() must be called first")
+        features = np.asarray(self.feature_map(challenges), dtype=np.float64)
+        return (features @ self._weights > 0).astype(np.uint8)
+
+    def accuracy(self, challenges: np.ndarray, responses: np.ndarray) -> float:
+        predictions = self.predict(challenges)
+        return float(np.mean(predictions == np.asarray(responses).ravel()))
+
+
+class MLPAttack:
+    """One-hidden-layer perceptron attacker (tanh / sigmoid), plain SGD.
+
+    Used against targets with no known linear form: XOR-arbiter chains and
+    the photonic strong PUF.
+    """
+
+    def __init__(
+        self,
+        feature_map: FeatureMap = raw_features,
+        hidden: int = 32,
+        learning_rate: float = 0.1,
+        epochs: int = 400,
+        batch_size: int = 64,
+        seed: int = 0,
+    ):
+        self.feature_map = feature_map
+        self.hidden = hidden
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self._params: Optional[tuple] = None
+
+    def fit(self, challenges: np.ndarray, responses: np.ndarray) -> "MLPAttack":
+        features = np.asarray(self.feature_map(challenges), dtype=np.float64)
+        labels = np.asarray(responses, dtype=np.float64).ravel()
+        rng = np.random.default_rng(self.seed)
+        d = features.shape[1]
+        w1 = rng.normal(0.0, 1.0 / np.sqrt(d), size=(d, self.hidden))
+        b1 = np.zeros(self.hidden)
+        w2 = rng.normal(0.0, 1.0 / np.sqrt(self.hidden), size=self.hidden)
+        b2 = 0.0
+        n = features.shape[0]
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                x, y = features[batch], labels[batch]
+                hidden_act = np.tanh(x @ w1 + b1)
+                output = _sigmoid(hidden_act @ w2 + b2)
+                delta_out = output - y
+                grad_w2 = hidden_act.T @ delta_out / batch.size
+                grad_b2 = float(delta_out.mean())
+                delta_hidden = np.outer(delta_out, w2) * (1.0 - hidden_act**2)
+                grad_w1 = x.T @ delta_hidden / batch.size
+                grad_b1 = delta_hidden.mean(axis=0)
+                w2 -= self.learning_rate * grad_w2
+                b2 -= self.learning_rate * grad_b2
+                w1 -= self.learning_rate * grad_w1
+                b1 -= self.learning_rate * grad_b1
+        self._params = (w1, b1, w2, b2)
+        return self
+
+    def predict(self, challenges: np.ndarray) -> np.ndarray:
+        if self._params is None:
+            raise RuntimeError("fit() must be called first")
+        w1, b1, w2, b2 = self._params
+        features = np.asarray(self.feature_map(challenges), dtype=np.float64)
+        hidden_act = np.tanh(features @ w1 + b1)
+        return (_sigmoid(hidden_act @ w2 + b2) > 0.5).astype(np.uint8)
+
+    def accuracy(self, challenges: np.ndarray, responses: np.ndarray) -> float:
+        predictions = self.predict(challenges)
+        return float(np.mean(predictions == np.asarray(responses).ravel()))
+
+
+@dataclass(frozen=True)
+class AttackCurvePoint:
+    """One point of an accuracy-vs-training-size curve."""
+
+    n_train: int
+    accuracy: float
+
+
+def collect_crps(
+    puf: StrongPUF,
+    n_crps: int,
+    seed: int = 0,
+    env: PUFEnvironment = NOMINAL_ENV,
+    response_bit: int = 0,
+) -> tuple:
+    """(challenges, single-bit responses) for attack training/evaluation."""
+    rng = np.random.default_rng(seed)
+    challenges = rng.integers(0, 2, size=(n_crps, puf.challenge_bits),
+                              dtype=np.uint8)
+    if hasattr(puf, "evaluate_batch"):
+        responses = puf.evaluate_batch(challenges, env, measurement=0)
+        responses = np.atleast_2d(responses)
+        if responses.shape[0] != n_crps:  # single-bit batch shape (n,)
+            responses = responses.T
+    else:
+        responses = np.vstack([
+            puf.evaluate(c, env, measurement=0) for c in challenges
+        ])
+    bit = responses[:, response_bit] if responses.ndim == 2 else responses
+    return challenges, np.asarray(bit, dtype=np.uint8).ravel()
+
+
+def attack_curve(
+    puf: StrongPUF,
+    attacker_factory: Callable[[], object],
+    train_sizes: Sequence[int],
+    n_test: int = 500,
+    seed: int = 0,
+    response_bit: int = 0,
+) -> List[AttackCurvePoint]:
+    """Accuracy of a fresh attacker at each training-set size.
+
+    The largest training set plus the test set are collected once; smaller
+    training sets are prefixes, so the curve is monotone in data, not in
+    attacker luck.
+    """
+    max_train = max(train_sizes)
+    challenges, responses = collect_crps(
+        puf, max_train + n_test, seed=seed, response_bit=response_bit
+    )
+    test_x, test_y = challenges[max_train:], responses[max_train:]
+    points = []
+    for size in train_sizes:
+        attacker = attacker_factory()
+        attacker.fit(challenges[:size], responses[:size])
+        points.append(AttackCurvePoint(size, attacker.accuracy(test_x, test_y)))
+    return points

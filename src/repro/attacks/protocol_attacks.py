@@ -1,0 +1,166 @@
+"""Protocol-level attacks against the NEUROPULS security services.
+
+Implements the adversaries the paper's Sec. III/IV protocols are designed
+to resist: replay and tampering against the mutual-authentication
+exchange, impersonation without the shared CRP, desynchronisation by
+message dropping, and the attestation evasions (naive infection and
+memory relocation).  Each attack returns whether it *succeeded*, so the
+test-suite and benches can assert the defence holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.protocols.attestation import (
+    AttestationDevice,
+    AttestationVerifier,
+)
+from repro.protocols.mutual_auth import (
+    AuthDevice,
+    AuthenticationFailure,
+    AuthVerifier,
+    run_session,
+)
+from repro.system.memory import RelocatingCompromisedMemory
+from repro.system.soc import DeviceSoC
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of one attack attempt."""
+
+    name: str
+    succeeded: bool
+    detail: str = ""
+
+
+def replay_attack(device: AuthDevice, verifier: AuthVerifier) -> AttackOutcome:
+    """Record one session's device message, replay it in the next session.
+
+    The CRP rolls forward after every session, so the replayed MAC is
+    keyed with a stale response and must be rejected.
+    """
+    nonce = verifier.new_nonce()
+    message = device.handle_request(nonce)
+    confirmation = verifier.process_response(
+        message, nonce, device.soc.strong_puf.challenge_bits
+    )
+    device.verify_confirmation(confirmation, nonce)
+    verifier.finalize()
+    # Replay the captured message against the *next* session.
+    next_nonce = verifier.new_nonce()
+    try:
+        verifier.process_response(message, next_nonce,
+                                  device.soc.strong_puf.challenge_bits)
+        return AttackOutcome("replay", succeeded=True,
+                             detail="stale message accepted")
+    except AuthenticationFailure as failure:
+        return AttackOutcome("replay", succeeded=False, detail=str(failure))
+
+
+def tamper_attack(device: AuthDevice, verifier: AuthVerifier,
+                  flip_byte: int = 12) -> AttackOutcome:
+    """Flip a ciphertext byte in flight; the MAC must catch it."""
+    nonce = verifier.new_nonce()
+    message = bytearray(device.handle_request(nonce))
+    message[flip_byte % len(message)] ^= 0x01
+    try:
+        verifier.process_response(bytes(message), nonce,
+                                  device.soc.strong_puf.challenge_bits)
+        return AttackOutcome("tamper", succeeded=True,
+                             detail="modified message accepted")
+    except AuthenticationFailure as failure:
+        device._pending = None  # the session dies on both sides
+        return AttackOutcome("tamper", succeeded=False, detail=str(failure))
+
+
+def impersonation_attack(verifier: AuthVerifier, challenge_bits: int,
+                         seed: int = 0) -> AttackOutcome:
+    """Attempt authentication without knowing the current response."""
+    from repro.crypto.mac import mac as compute_mac
+    from repro.utils.serialization import encode_fields
+
+    rng = derive_rng(seed, "impersonator")
+    fake_response = bytes(rng.integers(0, 256, 8, dtype=np.uint8).tolist())
+    nonce = verifier.new_nonce()
+    body = encode_fields([
+        (0).to_bytes(4, "big"),
+        fake_response,
+        bytes(32),
+        nonce,
+    ])
+    forged = encode_fields([body, compute_mac(body, b"guessed-key")])
+    try:
+        verifier.process_response(forged, nonce, challenge_bits)
+        return AttackOutcome("impersonation", succeeded=True)
+    except AuthenticationFailure as failure:
+        return AttackOutcome("impersonation", succeeded=False,
+                             detail=str(failure))
+
+
+def desynchronization_attack(device: AuthDevice,
+                             verifier: AuthVerifier) -> AttackOutcome:
+    """Drop the verifier's confirmation so only one side rolls the CRP.
+
+    HSC-IoT's ordering makes this safe: the device rolls only after the
+    confirmation, the verifier only after emitting it; a dropped
+    confirmation leaves the device on the old CRP and the verifier
+    pending.  The attack succeeds only if the two sides can no longer
+    authenticate afterwards.
+    """
+    nonce = verifier.new_nonce()
+    message = device.handle_request(nonce)
+    verifier.process_response(message, nonce,
+                              device.soc.strong_puf.challenge_bits)
+    # Confirmation dropped: device keeps the old CRP.
+    device._pending = None
+    # The verifier must fall back to the pre-session CRP for recovery.
+    verifier._pending_response = None
+    record = run_session(device, verifier)
+    if record.success:
+        return AttackOutcome("desynchronization", succeeded=False,
+                             detail="parties recovered")
+    return AttackOutcome("desynchronization", succeeded=True,
+                         detail=record.verifier_checks)
+
+
+def naive_infection_attack(soc: DeviceSoC,
+                           verifier: AttestationVerifier,
+                           timestamp: int = 7_000) -> AttackOutcome:
+    """Infect memory without hiding; the hash check must catch it."""
+    soc.memory.infect(address=0, length=1024)
+    request = verifier.new_request(timestamp)
+    report = AttestationDevice(soc).attest(request)
+    verdict = verifier.verify(request, report)
+    if verdict.accepted:
+        return AttackOutcome("naive_infection", succeeded=True)
+    return AttackOutcome(
+        "naive_infection", succeeded=False,
+        detail=f"hash_ok={verdict.hash_ok} time_ok={verdict.time_ok}",
+    )
+
+
+def relocation_attack(soc: DeviceSoC,
+                      verifier: AttestationVerifier,
+                      n_infected_chunks: int = 8,
+                      timestamp: int = 9_000) -> AttackOutcome:
+    """Hide malware behind a clean copy; the timing check must catch it."""
+    compromised = RelocatingCompromisedMemory(
+        soc.memory.image(),
+        chunk_size=soc.memory.chunk_size,
+        infected_chunks=set(range(n_infected_chunks)),
+    )
+    request = verifier.new_request(timestamp)
+    report = AttestationDevice(soc, memory=compromised).attest(request)
+    verdict = verifier.verify(request, report)
+    if verdict.accepted:
+        return AttackOutcome("relocation", succeeded=True)
+    return AttackOutcome(
+        "relocation", succeeded=False,
+        detail=f"hash_ok={verdict.hash_ok} time_ok={verdict.time_ok}",
+    )

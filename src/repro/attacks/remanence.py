@@ -1,0 +1,92 @@
+"""Remanence-decay side channel: SRAM PUFs vs photonic PUFs.
+
+Paper Sec. IV, citing [27]: SRAM PUFs that share their array with other
+functionality are exposed to the remanence-decay attack — an attacker who
+briefly cuts power can read back a mixture of the previously stored data
+and the PUF fingerprint, and by sweeping the off-time can separate the
+two.  The photonic PUF's response, by contrast, "is present in the PUF
+for a very short period of time (below 100 ns)", so there is nothing left
+to read after interrogation.
+
+This module implements both sides: the attack against the SRAM model and
+the equivalent attempt against the photonic strong PUF's decayed optical
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.puf.photonic_strong import PhotonicStrongPUF
+from repro.puf.sram import SRAMPUF
+
+
+@dataclass(frozen=True)
+class RemanencePoint:
+    """Recovery accuracy after one power-off duration."""
+
+    off_time_s: float
+    secret_recovery: float  # fraction of previously stored bits recovered
+    fingerprint_contamination: float  # fraction of cells already at power-up value
+
+
+def sram_remanence_sweep(
+    puf: SRAMPUF,
+    secret: np.ndarray,
+    off_times_s: Sequence[float],
+    measurement_base: int = 0,
+) -> List[RemanencePoint]:
+    """Attack an SRAM PUF that shares its array with stored data.
+
+    The attacker wrote ``secret`` into the array, cuts power for each
+    ``off_time``, then reads at power-up.  Short off-times recover the
+    secret (a confidentiality break); long off-times recover the
+    fingerprint (a cloning aid).
+    """
+    secret = np.asarray(secret, dtype=np.uint8)
+    fingerprint = puf.power_up(measurement=measurement_base)
+    points = []
+    for index, off_time in enumerate(off_times_s):
+        read = puf.remanence_read(
+            secret, float(off_time), measurement=measurement_base + 1 + index
+        )
+        points.append(RemanencePoint(
+            off_time_s=float(off_time),
+            secret_recovery=float(np.mean(read == secret)),
+            fingerprint_contamination=float(np.mean(read == fingerprint)),
+        ))
+    return points
+
+
+def photonic_remanence_attempt(
+    puf: PhotonicStrongPUF,
+    challenge: np.ndarray,
+    delay_s: float,
+    measurement: int = 0,
+) -> float:
+    """Attempt to read the photonic response ``delay_s`` after interrogation.
+
+    The recirculating optical energy decays exponentially with the ring
+    time constant; the attacker thresholds whatever energy remains.
+    Returns the fraction of response bits recovered (0.5 = chance).
+    """
+    challenge = np.asarray(challenge, dtype=np.uint8)
+    energies = puf.slot_energies(challenge, measurement=measurement)
+    true_bits = puf.evaluate(challenge, measurement=measurement)
+    # Energy that remains after the delay: every slot value decays with
+    # the slowest ring's time constant.
+    lifetime = puf.response_lifetime_s()
+    # response_lifetime_s is the ~1e-4 decay point: convert to a time
+    # constant (energy halves every tau_half).
+    tau_decay = lifetime / np.log(1e4)
+    surviving = energies * np.exp(-delay_s / max(tau_decay, 1e-15))
+    noise_floor = puf.noise_mw
+    rng = np.random.default_rng(measurement + 17)
+    measured = surviving + noise_floor * rng.standard_normal(surviving.shape)
+    recovered = []
+    for (slot, pair) in puf._assignments:
+        recovered.append(1 if measured[pair, slot] > measured[pair + 1, slot] else 0)
+    return float(np.mean(np.asarray(recovered) == true_bits))

@@ -1,0 +1,66 @@
+"""Cryptographic substrate: ECC, fuzzy extraction, ciphers, MAC, DRBG, EKE."""
+
+from repro.crypto.bch import BCHCode, BCHDecodingError
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.eke import (
+    EkeError,
+    EkeInitiator,
+    EkeResponder,
+    HandshakeCost,
+    run_handshake,
+)
+from repro.crypto.feistel import FeistelPermutation
+from repro.crypto.fuzzy_extractor import (
+    ConcatenatedCode,
+    ExtractionResult,
+    FuzzyExtractor,
+    HelperData,
+    KeyRecoveryError,
+)
+from repro.crypto.gf2 import GF2m
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
+from repro.crypto.mac import hmac_sha256, mac, sha256, verify_mac
+from repro.crypto.modes import (
+    AuthenticatedCipher,
+    AuthenticationError,
+    ctr_decrypt,
+    ctr_encrypt,
+    ctr_keystream,
+)
+from repro.crypto.present import Present80
+from repro.crypto.repetition import Hamming74, RepetitionCode
+from repro.crypto.speck import Speck64_128
+
+__all__ = [
+    "BCHCode",
+    "BCHDecodingError",
+    "HmacDrbg",
+    "EkeError",
+    "EkeInitiator",
+    "EkeResponder",
+    "HandshakeCost",
+    "run_handshake",
+    "FeistelPermutation",
+    "ConcatenatedCode",
+    "ExtractionResult",
+    "FuzzyExtractor",
+    "HelperData",
+    "KeyRecoveryError",
+    "GF2m",
+    "hkdf",
+    "hkdf_expand",
+    "hkdf_extract",
+    "hmac_sha256",
+    "mac",
+    "sha256",
+    "verify_mac",
+    "AuthenticatedCipher",
+    "AuthenticationError",
+    "ctr_decrypt",
+    "ctr_encrypt",
+    "ctr_keystream",
+    "Present80",
+    "Hamming74",
+    "RepetitionCode",
+    "Speck64_128",
+]

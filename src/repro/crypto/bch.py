@@ -1,0 +1,180 @@
+"""Binary BCH error-correcting codes.
+
+Systematic BCH(n = 2^m - 1, k, t) encoder and a Berlekamp-Massey + Chien
+search decoder.  Together with the repetition code this is the ECC block
+of the paper's post-processing chain (Fig. 1): it turns a noisy weak-PUF
+response into a stable key.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.crypto.gf2 import GF2m, _degree
+from repro.utils.bits import BitArray
+
+
+class BCHDecodingError(Exception):
+    """Raised when the received word has more errors than the code corrects."""
+
+
+def _cyclotomic_coset(i: int, n: int) -> Set[int]:
+    """The 2-cyclotomic coset of i modulo n."""
+    coset = set()
+    value = i % n
+    while value not in coset:
+        coset.add(value)
+        value = (value * 2) % n
+    return coset
+
+
+def _minimal_polynomial(field: GF2m, exponents: Set[int]) -> List[int]:
+    """prod_{e in coset} (x - alpha^e), lowest degree first."""
+    poly = [1]
+    for exponent in exponents:
+        poly = field.poly_mul(poly, [field.alpha_pow(exponent), 1])
+    return poly
+
+
+class BCHCode:
+    """Systematic binary BCH code over GF(2^m).
+
+    Parameters
+    ----------
+    m:
+        Field degree; block length is n = 2^m - 1.
+    t:
+        Designed error-correction capability (corrects up to t bit errors).
+    """
+
+    def __init__(self, m: int = 7, t: int = 10):
+        if t < 1:
+            raise ValueError("t must be at least 1")
+        self.field = GF2m(m)
+        self.n = (1 << m) - 1
+        self.t = t
+        generator = [1]
+        seen: Set[int] = set()
+        for i in range(1, 2 * t + 1):
+            coset = _cyclotomic_coset(i, self.n)
+            if coset & seen:
+                continue
+            seen |= coset
+            generator = self.field.poly_mul(generator,
+                                            _minimal_polynomial(self.field, coset))
+        # The generator of a binary BCH code has binary coefficients.
+        if any(c not in (0, 1) for c in generator):
+            raise AssertionError("generator polynomial is not binary")
+        self.generator = generator
+        self.n_parity = _degree(generator)
+        self.k = self.n - self.n_parity
+        if self.k <= 0:
+            raise ValueError(f"t={t} leaves no message bits for m={m}")
+
+    def encode(self, message: Sequence[int]) -> BitArray:
+        """Systematic encoding: message followed by parity bits."""
+        message = np.asarray(message, dtype=np.uint8)
+        if message.size != self.k:
+            raise ValueError(f"message must have {self.k} bits, got {message.size}")
+        # Codeword poly: x^{n-k} * m(x) + remainder; coefficient list is
+        # lowest-degree first, so the message occupies the top coefficients.
+        shifted = [0] * self.n_parity + [int(b) for b in message]
+        remainder = self.field.poly_mod(shifted, self.generator)
+        parity = [(remainder[i] if i < len(remainder) else 0)
+                  for i in range(self.n_parity)]
+        return np.array(list(message) + parity[::-1], dtype=np.uint8)[
+            np.argsort(self._order())]
+
+    def _order(self) -> np.ndarray:
+        # Canonical layout: [message bits (k), parity bits (n-k)].
+        # Internally the codeword polynomial stores parity in the low
+        # coefficients; this permutation keeps the public layout simple.
+        return np.arange(self.n)
+
+    def _codeword_poly(self, codeword: np.ndarray) -> List[int]:
+        """Map the public [message | parity] layout to coefficients."""
+        message = codeword[: self.k]
+        parity = codeword[self.k:]
+        coefficients = [0] * self.n
+        for i, bit in enumerate(parity[::-1]):
+            coefficients[i] = int(bit)
+        for i, bit in enumerate(message):
+            coefficients[self.n_parity + i] = int(bit)
+        return coefficients
+
+    def _poly_to_codeword(self, coefficients: List[int]) -> BitArray:
+        parity = [coefficients[i] for i in range(self.n_parity)][::-1]
+        message = [coefficients[self.n_parity + i] for i in range(self.k)]
+        return np.array(message + parity, dtype=np.uint8)
+
+    def syndromes(self, codeword: Sequence[int]) -> List[int]:
+        """S_i = r(alpha^i) for i = 1..2t."""
+        codeword = np.asarray(codeword, dtype=np.uint8)
+        if codeword.size != self.n:
+            raise ValueError(f"codeword must have {self.n} bits")
+        poly = self._codeword_poly(codeword)
+        return [
+            self.field.poly_eval(poly, self.field.alpha_pow(i))
+            for i in range(1, 2 * self.t + 1)
+        ]
+
+    def _berlekamp_massey(self, syndromes: List[int]) -> List[int]:
+        """Error-locator polynomial sigma(x), lowest degree first."""
+        field = self.field
+        sigma = [1]
+        prev_sigma = [1]
+        length = 0
+        shift = 1
+        prev_discrepancy = 1
+        for step, syndrome in enumerate(syndromes):
+            discrepancy = syndrome
+            for i in range(1, length + 1):
+                if i < len(sigma) and sigma[i]:
+                    discrepancy ^= field.mul(sigma[i], syndromes[step - i])
+            if discrepancy == 0:
+                shift += 1
+                continue
+            scale = field.div(discrepancy, prev_discrepancy)
+            correction = [0] * shift + [field.mul(scale, c) for c in prev_sigma]
+            new_sigma = [0] * max(len(sigma), len(correction))
+            for i, c in enumerate(sigma):
+                new_sigma[i] ^= c
+            for i, c in enumerate(correction):
+                new_sigma[i] ^= c
+            if 2 * length <= step:
+                prev_sigma, prev_discrepancy = sigma, discrepancy
+                length = step + 1 - length
+                shift = 1
+            else:
+                shift += 1
+            sigma = new_sigma
+        return sigma
+
+    def decode(self, received: Sequence[int]) -> BitArray:
+        """Correct up to t errors and return the k message bits."""
+        received = np.asarray(received, dtype=np.uint8).copy()
+        if received.size != self.n:
+            raise ValueError(f"received word must have {self.n} bits")
+        syndromes = self.syndromes(received)
+        if not any(syndromes):
+            return received[: self.k]
+        sigma = self._berlekamp_massey(syndromes)
+        n_errors = _degree(sigma)
+        if n_errors > self.t:
+            raise BCHDecodingError("error locator degree exceeds t")
+        # Chien search: sigma(alpha^{-j}) == 0 <=> error at coefficient j.
+        error_positions = []
+        for j in range(self.n):
+            if self.field.poly_eval(sigma, self.field.alpha_pow(-j)) == 0:
+                error_positions.append(j)
+        if len(error_positions) != n_errors:
+            raise BCHDecodingError("Chien search found inconsistent error count")
+        coefficients = self._codeword_poly(received)
+        for position in error_positions:
+            coefficients[position] ^= 1
+        corrected = self._poly_to_codeword(coefficients)
+        if any(self.syndromes(corrected)):
+            raise BCHDecodingError("correction did not produce a codeword")
+        return corrected[: self.k]

@@ -1,0 +1,53 @@
+"""HMAC-DRBG (NIST SP 800-90A) deterministic random bit generator.
+
+The ``RNG`` function of the protocols: mutual authentication derives the
+next challenge as ``c_{i+1} = RNG(r_i)`` (Fig. 4), and attestation derives
+the memory walk as ``m_1..m_n = RNG(r_1 + t)`` (Sec. III-B).  Both sides
+must reproduce the stream exactly, hence a standardised DRBG.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.mac import hmac_sha256
+
+
+class HmacDrbg:
+    """HMAC-SHA256 DRBG, instantiated from a seed byte string."""
+
+    def __init__(self, seed: bytes, personalization: bytes = b""):
+        self._key = b"\x00" * 32
+        self._value = b"\x01" * 32
+        self._update(seed + personalization)
+
+    def _update(self, provided: bytes = b"") -> None:
+        self._key = hmac_sha256(self._key, self._value + b"\x00" + provided)
+        self._value = hmac_sha256(self._key, self._value)
+        if provided:
+            self._key = hmac_sha256(self._key, self._value + b"\x01" + provided)
+            self._value = hmac_sha256(self._key, self._value)
+
+    def generate(self, n_bytes: int) -> bytes:
+        """Next ``n_bytes`` of the stream."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        output = b""
+        while len(output) < n_bytes:
+            self._value = hmac_sha256(self._key, self._value)
+            output += self._value
+        self._update()
+        return output[:n_bytes]
+
+    def reseed(self, entropy: bytes) -> None:
+        """Mix fresh entropy into the state."""
+        self._update(entropy)
+
+    def randint_below(self, bound: int) -> int:
+        """Uniform integer in [0, bound) via rejection sampling."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        n_bytes = (bound.bit_length() + 7) // 8
+        limit = (1 << (8 * n_bytes)) // bound * bound
+        while True:
+            candidate = int.from_bytes(self.generate(n_bytes), "big")
+            if candidate < limit:
+                return candidate % bound

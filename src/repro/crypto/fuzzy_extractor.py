@@ -1,0 +1,130 @@
+"""Fuzzy extractor: stable cryptographic keys from noisy PUF responses.
+
+Code-offset construction (Dodis et al.):
+
+* **Gen(w)** — draw a random codeword c, publish helper data
+  ``h = w XOR c``, output key ``K = Hash(w)``;
+* **Rep(w', h)** — compute ``c' = w' XOR h``, decode to the nearest
+  codeword c, recover ``w = c XOR h``, output ``K = Hash(w)``.
+
+As long as the PUF re-measurement ``w'`` differs from the enrollment
+response ``w`` in at most the code's correction capability, Rep returns
+the exact enrollment key.  The helper data leaks at most the code's
+redundancy, so the extracted key keeps ``k`` bits of entropy.
+
+The default code is a concatenation: inner repetition (crushes the raw
+bit-error rate) and outer BCH (cleans up the residual errors) — the
+classic PUF key-derivation chain the paper's Fig. 1 labels
+"Post-processing (ECC, Fuzzy Extraction, etc.)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.crypto.bch import BCHCode, BCHDecodingError
+from repro.crypto.kdf import hkdf
+from repro.crypto.repetition import RepetitionCode
+from repro.utils.bits import BitArray, bytes_from_bits
+from repro.utils.rng import derive_rng
+
+
+class KeyRecoveryError(Exception):
+    """Raised when the noisy response is too far from the enrollment."""
+
+
+@dataclass(frozen=True)
+class HelperData:
+    """Public helper data produced at enrollment (not secret)."""
+
+    offset: BitArray
+    key_bits: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "offset", np.asarray(self.offset, dtype=np.uint8))
+
+
+@dataclass(frozen=True)
+class ExtractionResult:
+    key: bytes
+    helper: HelperData
+
+
+class ConcatenatedCode:
+    """Outer BCH + inner repetition, the fuzzy extractor's workhorse."""
+
+    def __init__(self, bch_m: int = 7, bch_t: int = 10, repetition: int = 3):
+        self.outer = BCHCode(bch_m, bch_t)
+        self.inner = RepetitionCode(repetition)
+        self.k = self.outer.k
+        self.n = self.outer.n * self.inner.n
+
+    def encode(self, message) -> BitArray:
+        return self.inner.encode(self.outer.encode(message))
+
+    def decode(self, received) -> BitArray:
+        return self.outer.decode(self.inner.decode(received))
+
+
+class FuzzyExtractor:
+    """Code-offset fuzzy extractor over a pluggable ECC.
+
+    Parameters
+    ----------
+    code:
+        Any object with ``encode(k bits) -> n bits``, ``decode(n bits) ->
+        k bits`` and attributes ``k``/``n``; defaults to BCH(127,64,t=10)
+        + 3x repetition (n = 381 response bits -> 64-bit secret).
+    key_length:
+        Output key length in bytes (via HKDF over the recovered secret).
+    """
+
+    def __init__(self, code=None, key_length: int = 16, seed: int = 0):
+        self.code = code or ConcatenatedCode()
+        self.key_length = key_length
+        self.seed = seed
+
+    @property
+    def response_bits(self) -> int:
+        """Number of PUF response bits consumed."""
+        return self.code.n
+
+    def generate(self, response, enrollment_id: int = 0) -> ExtractionResult:
+        """Gen: enroll a response, produce (key, helper data)."""
+        response = np.asarray(response, dtype=np.uint8)
+        if response.size != self.code.n:
+            raise ValueError(
+                f"response must have {self.code.n} bits, got {response.size}"
+            )
+        rng = derive_rng(self.seed, "fuzzy", enrollment_id)
+        secret = rng.integers(0, 2, size=self.code.k, dtype=np.uint8)
+        codeword = self.code.encode(secret)
+        offset = np.bitwise_xor(response, codeword)
+        helper = HelperData(offset=offset, key_bits=self.code.k)
+        return ExtractionResult(key=self._derive_key(secret), helper=helper)
+
+    def reproduce(self, noisy_response, helper: HelperData) -> bytes:
+        """Rep: recover the enrollment key from a noisy re-measurement."""
+        noisy_response = np.asarray(noisy_response, dtype=np.uint8)
+        if noisy_response.size != self.code.n:
+            raise ValueError(
+                f"response must have {self.code.n} bits, got {noisy_response.size}"
+            )
+        received = np.bitwise_xor(noisy_response, helper.offset)
+        try:
+            secret = self.code.decode(received)
+        except BCHDecodingError as exc:
+            raise KeyRecoveryError(str(exc)) from exc
+        return self._derive_key(secret)
+
+    def _derive_key(self, secret) -> bytes:
+        padded = np.asarray(secret, dtype=np.uint8)
+        if padded.size % 8:
+            padded = np.concatenate(
+                [padded, np.zeros(8 - padded.size % 8, dtype=np.uint8)]
+            )
+        return hkdf(bytes_from_bits(padded), self.key_length,
+                    info=b"repro-fuzzy-extractor")

@@ -1,0 +1,138 @@
+"""Galois field GF(2^m) arithmetic.
+
+Log/antilog-table implementation over a primitive polynomial; the
+foundation of the BCH error-correcting codes used by the fuzzy extractor
+(paper Fig. 1: "Post-processing (ECC, Fuzzy Extraction, etc.)").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+# Primitive polynomials for GF(2^m), m = 2..12, in integer form
+# (x^4 + x + 1 -> 0b10011 = 19, etc.).
+PRIMITIVE_POLYNOMIALS = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with exp/log tables.
+
+    Elements are integers in [0, 2^m); addition is XOR; multiplication
+    uses the discrete-log tables built from a primitive element alpha.
+    """
+
+    def __init__(self, m: int):
+        if m not in PRIMITIVE_POLYNOMIALS:
+            raise ValueError(f"unsupported field degree m={m}")
+        self.m = m
+        self.size = 1 << m
+        self.poly = PRIMITIVE_POLYNOMIALS[m]
+        self.exp: List[int] = [0] * (2 * self.size)
+        self.log: List[int] = [0] * self.size
+        value = 1
+        for power in range(self.size - 1):
+            self.exp[power] = value
+            self.log[value] = power
+            value <<= 1
+            if value & self.size:
+                value ^= self.poly
+        # Duplicate the table so exp lookups never need a modulo.
+        for power in range(self.size - 1, 2 * self.size):
+            self.exp[power] = self.exp[power - (self.size - 1)]
+
+    def _check(self, *elements: int) -> None:
+        for e in elements:
+            if not 0 <= e < self.size:
+                raise ValueError(f"{e} is not an element of GF(2^{self.m})")
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (= subtraction) is XOR."""
+        self._check(a, b)
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log tables."""
+        self._check(a, b)
+        if a == 0 or b == 0:
+            return 0
+        return self.exp[self.log[a] + self.log[b]]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse")
+        return self.exp[self.size - 1 - self.log[a]]
+
+    def div(self, a: int, b: int) -> int:
+        """a / b."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, exponent: int) -> int:
+        """a ** exponent (exponent may be negative for nonzero a)."""
+        self._check(a)
+        if a == 0:
+            if exponent <= 0:
+                raise ZeroDivisionError("0 ** non-positive power")
+            return 0
+        log_a = self.log[a]
+        return self.exp[(log_a * exponent) % (self.size - 1)]
+
+    def alpha_pow(self, exponent: int) -> int:
+        """alpha ** exponent for the primitive element alpha."""
+        return self.exp[exponent % (self.size - 1)]
+
+    # -- polynomial helpers (coefficient lists, lowest degree first) ------
+
+    def poly_eval(self, coefficients: List[int], x: int) -> int:
+        """Evaluate a polynomial at x (Horner's rule)."""
+        result = 0
+        for coefficient in reversed(coefficients):
+            result = self.mul(result, x) ^ coefficient
+        return result
+
+    def poly_mul(self, a: List[int], b: List[int]) -> List[int]:
+        """Multiply two polynomials over the field."""
+        result = [0] * (len(a) + len(b) - 1)
+        for i, ai in enumerate(a):
+            if ai == 0:
+                continue
+            for j, bj in enumerate(b):
+                result[i + j] ^= self.mul(ai, bj)
+        return result
+
+    def poly_mod(self, a: List[int], b: List[int]) -> List[int]:
+        """Remainder of polynomial division a mod b."""
+        b_deg = _degree(b)
+        if b_deg < 0:
+            raise ZeroDivisionError("polynomial modulo zero")
+        remainder = list(a)
+        lead_inv = self.inv(b[b_deg])
+        for shift in range(_degree(remainder) - b_deg, -1, -1):
+            coefficient = remainder[shift + b_deg]
+            if coefficient == 0:
+                continue
+            factor = self.mul(coefficient, lead_inv)
+            for i, bi in enumerate(b[: b_deg + 1]):
+                remainder[shift + i] ^= self.mul(factor, bi)
+        return remainder[:b_deg] if b_deg else [0]
+
+
+def _degree(poly: List[int]) -> int:
+    """Degree of a coefficient list (-1 for the zero polynomial)."""
+    for i in range(len(poly) - 1, -1, -1):
+        if poly[i]:
+            return i
+    return -1

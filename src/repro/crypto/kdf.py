@@ -1,0 +1,32 @@
+"""HKDF (RFC 5869) key derivation over HMAC-SHA256."""
+
+from __future__ import annotations
+
+from repro.crypto.mac import hmac_sha256
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """Extract step: PRK = HMAC(salt, IKM)."""
+    if not salt:
+        salt = b"\x00" * 32
+    return hmac_sha256(salt, input_key_material)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand step: OKM of the requested length."""
+    if length < 0 or length > 255 * 32:
+        raise ValueError("requested length out of range")
+    output = b""
+    block = b""
+    counter = 1
+    while len(output) < length:
+        block = hmac_sha256(prk, block + info + bytes([counter]))
+        output += block
+        counter += 1
+    return output[:length]
+
+
+def hkdf(input_key_material: bytes, length: int = 32,
+         salt: bytes = b"", info: bytes = b"") -> bytes:
+    """One-shot extract-and-expand."""
+    return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)

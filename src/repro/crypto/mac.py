@@ -1,0 +1,49 @@
+"""HMAC-SHA256 message authentication, built from the raw hash primitive.
+
+The ``MAC(data, key)`` function of the mutual-authentication protocol
+(paper Fig. 4).  Implemented from the HMAC construction directly (rather
+than ``hmac`` stdlib) because the whole point of this repository is to
+expose every moving part.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_BLOCK_SIZE = 64  # SHA-256 block size in bytes
+_IPAD = bytes(0x36 for _ in range(_BLOCK_SIZE))
+_OPAD = bytes(0x5C for _ in range(_BLOCK_SIZE))
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 per RFC 2104."""
+    if len(key) > _BLOCK_SIZE:
+        key = hashlib.sha256(key).digest()
+    key = key.ljust(_BLOCK_SIZE, b"\x00")
+    inner = hashlib.sha256(_xor(key, _IPAD) + message).digest()
+    return hashlib.sha256(_xor(key, _OPAD) + inner).digest()
+
+
+def mac(data: bytes, key: bytes) -> bytes:
+    """The paper's MAC(data, key) — argument order follows Fig. 4."""
+    return hmac_sha256(key, data)
+
+
+def verify_mac(data: bytes, key: bytes, tag: bytes) -> bool:
+    """Constant-time tag comparison."""
+    expected = mac(data, key)
+    if len(expected) != len(tag):
+        return False
+    result = 0
+    for x, y in zip(expected, tag):
+        result |= x ^ y
+    return result == 0
+
+
+def sha256(data: bytes) -> bytes:
+    """Plain SHA-256 (the HASH function of the attestation protocol)."""
+    return hashlib.sha256(data).digest()

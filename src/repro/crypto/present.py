@@ -1,0 +1,83 @@
+"""PRESENT-80 ultra-lightweight block cipher (CHES 2007, ISO/IEC 29192-2).
+
+The canonical hardware-oriented cipher for the kind of edge device the
+paper targets; included alongside SPECK so the NN-encryption service can
+be benchmarked over more than one cipher.  64-bit blocks, 80-bit keys,
+31 rounds.
+"""
+
+from __future__ import annotations
+
+_SBOX = [0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+         0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2]
+_SBOX_INV = [_SBOX.index(i) for i in range(16)]
+_ROUNDS = 31
+
+
+def _p_layer(state: int) -> int:
+    out = 0
+    for i in range(64):
+        bit = (state >> i) & 1
+        position = 63 if i == 63 else (16 * i) % 63
+        out |= bit << position
+    return out
+
+
+def _p_layer_inverse(state: int) -> int:
+    out = 0
+    for i in range(64):
+        position = 63 if i == 63 else (16 * i) % 63
+        bit = (state >> position) & 1
+        out |= bit << i
+    return out
+
+
+def _sbox_layer(state: int, box) -> int:
+    out = 0
+    for nibble in range(16):
+        value = (state >> (4 * nibble)) & 0xF
+        out |= box[value] << (4 * nibble)
+    return out
+
+
+class Present80:
+    """PRESENT with an 80-bit key."""
+
+    def __init__(self, key: bytes):
+        if len(key) != 10:
+            raise ValueError("key must be 10 bytes")
+        register = int.from_bytes(key, "big")
+        self._round_keys = []
+        for round_counter in range(1, _ROUNDS + 2):
+            self._round_keys.append(register >> 16)
+            # Rotate the 80-bit register left by 61.
+            register = ((register << 61) | (register >> 19)) & ((1 << 80) - 1)
+            top = _SBOX[register >> 76]
+            register = (top << 76) | (register & ((1 << 76) - 1))
+            register ^= round_counter << 15
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        if len(plaintext) != 8:
+            raise ValueError("block must be 8 bytes")
+        state = int.from_bytes(plaintext, "big")
+        for round_index in range(_ROUNDS):
+            state ^= self._round_keys[round_index]
+            state = _sbox_layer(state, _SBOX)
+            state = _p_layer(state)
+        state ^= self._round_keys[_ROUNDS]
+        return state.to_bytes(8, "big")
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != 8:
+            raise ValueError("block must be 8 bytes")
+        state = int.from_bytes(ciphertext, "big")
+        state ^= self._round_keys[_ROUNDS]
+        for round_index in range(_ROUNDS - 1, -1, -1):
+            state = _p_layer_inverse(state)
+            state = _sbox_layer(state, _SBOX_INV)
+            state ^= self._round_keys[round_index]
+        return state.to_bytes(8, "big")
+
+    @property
+    def block_size(self) -> int:
+        return 8

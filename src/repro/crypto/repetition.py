@@ -1,0 +1,75 @@
+"""Repetition and Hamming(7,4) codes.
+
+The light-weight end of the ECC spectrum: a repetition code trades rate
+for correction (majority decode), Hamming(7,4) corrects single errors at
+rate 4/7.  Concatenating repetition with BCH is the classic PUF key
+derivation construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bits import BitArray
+
+
+class RepetitionCode:
+    """n-fold repetition with majority decoding (n odd)."""
+
+    def __init__(self, n: int = 5):
+        if n < 1 or n % 2 == 0:
+            raise ValueError("repetition factor must be odd and positive")
+        self.n = n
+
+    def encode(self, message) -> BitArray:
+        message = np.asarray(message, dtype=np.uint8)
+        return np.repeat(message, self.n)
+
+    def decode(self, received) -> BitArray:
+        received = np.asarray(received, dtype=np.uint8)
+        if received.size % self.n:
+            raise ValueError("received length must be a multiple of n")
+        blocks = received.reshape(-1, self.n)
+        return (blocks.sum(axis=1) * 2 > self.n).astype(np.uint8)
+
+    def correctable_errors_per_block(self) -> int:
+        return (self.n - 1) // 2
+
+
+class Hamming74:
+    """The [7,4,3] Hamming code: corrects one error per block."""
+
+    # Generator (4x7) and parity-check (3x7) matrices, systematic form.
+    G = np.array([
+        [1, 0, 0, 0, 1, 1, 0],
+        [0, 1, 0, 0, 1, 0, 1],
+        [0, 0, 1, 0, 0, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1],
+    ], dtype=np.uint8)
+    H = np.array([
+        [1, 1, 0, 1, 1, 0, 0],
+        [1, 0, 1, 1, 0, 1, 0],
+        [0, 1, 1, 1, 0, 0, 1],
+    ], dtype=np.uint8)
+
+    def encode(self, message) -> BitArray:
+        message = np.asarray(message, dtype=np.uint8)
+        if message.size % 4:
+            raise ValueError("message length must be a multiple of 4")
+        blocks = message.reshape(-1, 4)
+        return (blocks @ self.G % 2).astype(np.uint8).ravel()
+
+    def decode(self, received) -> BitArray:
+        received = np.asarray(received, dtype=np.uint8).copy()
+        if received.size % 7:
+            raise ValueError("received length must be a multiple of 7")
+        blocks = received.reshape(-1, 7)
+        syndromes = blocks @ self.H.T % 2
+        columns = self.H.T  # syndrome of a single error at position i
+        for row in range(blocks.shape[0]):
+            syndrome = syndromes[row]
+            if syndrome.any():
+                matches = np.where((columns == syndrome).all(axis=1))[0]
+                if matches.size:
+                    blocks[row, matches[0]] ^= 1
+        return blocks[:, :4].ravel()

@@ -1,0 +1,75 @@
+"""SPECK 64/128 lightweight block cipher (NSA, 2013).
+
+Chosen as the data-encryption workhorse because the paper targets
+constrained edge devices (Sec. I): SPECK's ARX structure is among the
+cheapest ciphers to put next to a RISC-V core.  64-bit blocks, 128-bit
+keys, 27 rounds.
+"""
+
+from __future__ import annotations
+
+_WORD_BITS = 32
+_WORD_MASK = (1 << _WORD_BITS) - 1
+_ROUNDS = 27
+_ALPHA = 8
+_BETA = 3
+
+
+def _ror(x: int, r: int) -> int:
+    return ((x >> r) | (x << (_WORD_BITS - r))) & _WORD_MASK
+
+
+def _rol(x: int, r: int) -> int:
+    return ((x << r) | (x >> (_WORD_BITS - r))) & _WORD_MASK
+
+
+def _round(x: int, y: int, k: int) -> tuple:
+    x = (_ror(x, _ALPHA) + y) & _WORD_MASK
+    x ^= k
+    y = _rol(y, _BETA) ^ x
+    return x, y
+
+
+def _round_inverse(x: int, y: int, k: int) -> tuple:
+    y = _ror(y ^ x, _BETA)
+    x = _rol((x ^ k) - y & _WORD_MASK, _ALPHA)
+    return x, y
+
+
+class Speck64_128:
+    """SPECK with 64-bit blocks and a 128-bit key."""
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise ValueError("key must be 16 bytes")
+        words = [int.from_bytes(key[i:i + 4], "big") for i in range(0, 16, 4)]
+        # key = (l2, l1, l0, k0) in SPECK's notation (big-endian input).
+        l = [words[2], words[1], words[0]]
+        k = words[3]
+        self._round_keys = [k]
+        for i in range(_ROUNDS - 1):
+            l_new, k = _round(l[i], k, i)
+            l.append(l_new)
+            self._round_keys.append(k)
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        if len(plaintext) != 8:
+            raise ValueError("block must be 8 bytes")
+        x = int.from_bytes(plaintext[:4], "big")
+        y = int.from_bytes(plaintext[4:], "big")
+        for k in self._round_keys:
+            x, y = _round(x, y, k)
+        return x.to_bytes(4, "big") + y.to_bytes(4, "big")
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != 8:
+            raise ValueError("block must be 8 bytes")
+        x = int.from_bytes(ciphertext[:4], "big")
+        y = int.from_bytes(ciphertext[4:], "big")
+        for k in reversed(self._round_keys):
+            x, y = _round_inverse(x, y, k)
+        return x.to_bytes(4, "big") + y.to_bytes(4, "big")
+
+    @property
+    def block_size(self) -> int:
+        return 8

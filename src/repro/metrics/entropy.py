@@ -1,0 +1,79 @@
+"""Entropy estimators for PUF response bitstreams.
+
+Complements the population metrics of :mod:`repro.metrics.hamming` with
+sequence-level estimators: Shannon/min-entropy of the bit distribution,
+Markov min-entropy (captures inter-bit correlation), and autocorrelation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def shannon_entropy_bits(bits: Sequence[int]) -> float:
+    """Shannon entropy of the empirical bit distribution (bits/bit)."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.size == 0:
+        raise ValueError("empty bit sequence")
+    p = float(arr.mean())
+    if p in (0.0, 1.0):
+        return 0.0
+    return -p * math.log2(p) - (1 - p) * math.log2(1 - p)
+
+
+def min_entropy_bits(bits: Sequence[int]) -> float:
+    """Min-entropy of the empirical bit distribution: -log2(max(p, 1-p))."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.size == 0:
+        raise ValueError("empty bit sequence")
+    p = float(arr.mean())
+    return -math.log2(max(p, 1.0 - p))
+
+
+def markov_min_entropy(bits: Sequence[int]) -> float:
+    """First-order Markov min-entropy per bit (NIST SP 800-90B style).
+
+    Estimates transition probabilities P(b_{i+1} | b_i) and returns the
+    per-step min-entropy of the most likely path, which penalises
+    correlated sequences that look balanced marginally.
+    """
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.size < 2:
+        raise ValueError("need at least two bits")
+    # Laplace-smoothed transition counts.
+    counts = np.ones((2, 2), dtype=np.float64)
+    np.add.at(counts, (arr[:-1], arr[1:]), 1.0)
+    transitions = counts / counts.sum(axis=1, keepdims=True)
+    p0 = float(np.mean(arr == 0))
+    p_init = max(p0, 1.0 - p0)
+    # Most likely sequence probability over n steps ~ p_init * p_max^(n-1);
+    # per-bit min-entropy is the asymptotic rate.
+    p_max = float(transitions.max())
+    return -math.log2(p_max)
+
+
+def autocorrelation(bits: Sequence[int], max_lag: int = 16) -> np.ndarray:
+    """Normalised autocorrelation of the +-1 mapped sequence at lags 1..max_lag."""
+    arr = np.asarray(bits, dtype=np.float64) * 2.0 - 1.0
+    if arr.size <= max_lag:
+        raise ValueError("sequence shorter than max_lag")
+    arr = arr - arr.mean()
+    denominator = float(np.dot(arr, arr))
+    if denominator == 0.0:
+        return np.zeros(max_lag)
+    return np.array([
+        float(np.dot(arr[:-lag], arr[lag:])) / denominator
+        for lag in range(1, max_lag + 1)
+    ])
+
+
+def collision_entropy_bits(bits: Sequence[int]) -> float:
+    """Renyi collision entropy (order 2) of the bit distribution."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    if arr.size == 0:
+        raise ValueError("empty bit sequence")
+    p = float(arr.mean())
+    return -math.log2(p * p + (1 - p) * (1 - p))

@@ -1,0 +1,151 @@
+"""Population-level PUF quality metrics.
+
+The standard PUF evaluation vocabulary (paper Secs. II and V):
+
+* **reliability** — 1 minus the mean intra-device fractional Hamming
+  distance between repeated measurements (ideal: 1.0);
+* **uniqueness** — mean inter-device fractional Hamming distance over all
+  device pairs (ideal: 0.5);
+* **uniformity** — fraction of ones in a response (ideal: 0.5);
+* **bit-aliasing** — per-bit-position bias across devices; expressed as
+  Shannon entropy per bit, values near 1 mean no aliasing (ideal: 1.0,
+  exactly the y-axis of the paper's Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.bits import fractional_hamming_distance
+
+
+def _as_matrix(rows: Sequence[Sequence[int]]) -> np.ndarray:
+    matrix = np.vstack([np.asarray(r, dtype=np.uint8) for r in rows])
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise ValueError("expected a non-empty (devices x bits) matrix")
+    return matrix
+
+
+def intra_device_distances(measurements: Sequence[Sequence[int]]) -> List[float]:
+    """Fractional HD of every repeated measurement against the first."""
+    matrix = _as_matrix(measurements)
+    if matrix.shape[0] < 2:
+        raise ValueError("need at least two measurements")
+    reference = matrix[0]
+    return [fractional_hamming_distance(reference, row) for row in matrix[1:]]
+
+
+def inter_device_distances(responses: Sequence[Sequence[int]]) -> List[float]:
+    """Fractional HD of every unordered device pair."""
+    matrix = _as_matrix(responses)
+    n = matrix.shape[0]
+    if n < 2:
+        raise ValueError("need at least two devices")
+    return [
+        fractional_hamming_distance(matrix[i], matrix[j])
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+
+
+def reliability(measurements: Sequence[Sequence[int]]) -> float:
+    """1 - mean intra-device fractional HD (ideal 1.0)."""
+    return 1.0 - float(np.mean(intra_device_distances(measurements)))
+
+
+def uniqueness(responses: Sequence[Sequence[int]]) -> float:
+    """Mean inter-device fractional HD (ideal 0.5)."""
+    return float(np.mean(inter_device_distances(responses)))
+
+
+def uniformity(response: Sequence[int]) -> float:
+    """Fraction of ones in one response (ideal 0.5)."""
+    arr = np.asarray(response, dtype=np.uint8)
+    if arr.size == 0:
+        raise ValueError("empty response")
+    return float(arr.mean())
+
+
+def bit_aliasing(responses: Sequence[Sequence[int]]) -> np.ndarray:
+    """Per-bit-position probability of 1 across devices (ideal 0.5 each)."""
+    matrix = _as_matrix(responses)
+    if matrix.shape[0] < 2:
+        raise ValueError("need at least two devices")
+    return matrix.mean(axis=0)
+
+
+def binary_entropy(p: np.ndarray) -> np.ndarray:
+    """Shannon entropy h(p) in bits, elementwise, h(0) = h(1) = 0."""
+    p = np.asarray(p, dtype=np.float64)
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    out = np.zeros_like(p)
+    mask = (p > 0) & (p < 1)
+    pm = p[mask]
+    out[mask] = -pm * np.log2(pm) - (1 - pm) * np.log2(1 - pm)
+    return out
+
+
+def bit_aliasing_entropy(responses: Sequence[Sequence[int]]) -> np.ndarray:
+    """Per-bit Shannon entropy across devices — the Fig. 3 y-axis.
+
+    1.0 means the bit is unbiased across the population (no aliasing);
+    0.0 means every device agrees on the bit (fully aliased).
+    """
+    return binary_entropy(bit_aliasing(responses))
+
+
+@dataclass(frozen=True)
+class PUFQualityReport:
+    """Summary statistics of a PUF population study."""
+
+    n_devices: int
+    n_bits: int
+    uniformity_mean: float
+    uniqueness_mean: float
+    reliability_mean: float
+    aliasing_entropy_mean: float
+    intra_distances: tuple
+    inter_distances: tuple
+
+    def as_rows(self) -> List[tuple]:
+        """(metric, value, ideal) rows for report printing."""
+        return [
+            ("uniformity", self.uniformity_mean, 0.5),
+            ("uniqueness (inter-HD)", self.uniqueness_mean, 0.5),
+            ("reliability (1 - intra-HD)", self.reliability_mean, 1.0),
+            ("bit-aliasing entropy", self.aliasing_entropy_mean, 1.0),
+        ]
+
+
+def quality_report(
+    reference_responses: Sequence[Sequence[int]],
+    repeated_measurements: Sequence[Sequence[Sequence[int]]],
+) -> PUFQualityReport:
+    """Full population study.
+
+    Parameters
+    ----------
+    reference_responses:
+        One response per device (same challenge set).
+    repeated_measurements:
+        Per device, a list of repeated measurements (first entry is the
+        reference).
+    """
+    matrix = _as_matrix(reference_responses)
+    reliabilities = [reliability(m) for m in repeated_measurements]
+    return PUFQualityReport(
+        n_devices=matrix.shape[0],
+        n_bits=matrix.shape[1],
+        uniformity_mean=float(np.mean([uniformity(r) for r in matrix])),
+        uniqueness_mean=uniqueness(matrix),
+        reliability_mean=float(np.mean(reliabilities)),
+        aliasing_entropy_mean=float(np.mean(bit_aliasing_entropy(matrix))),
+        intra_distances=tuple(
+            d for m in repeated_measurements for d in intra_device_distances(m)
+        ),
+        inter_distances=tuple(inter_device_distances(matrix)),
+    )

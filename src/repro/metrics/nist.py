@@ -1,0 +1,229 @@
+"""NIST SP 800-22-style statistical tests for PUF-derived bitstreams.
+
+The paper cites "good score for various NIST tests" for the microring PUF
+[12]; this module implements the eight classic tests that apply to the
+modest stream lengths a PUF study produces (no 10^6-bit requirements):
+frequency (monobit), block frequency, runs, longest run of ones, DFT
+spectral, serial, approximate entropy, and cumulative sums.
+
+Each test returns a :class:`TestResult` with the test statistic, p-value,
+and a pass flag at the conventional alpha = 0.01.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+from scipy.special import erfc, gammaincc
+from scipy.stats import norm
+
+ALPHA = 0.01
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one statistical test."""
+
+    name: str
+    statistic: float
+    p_value: float
+    passed: bool
+
+    @staticmethod
+    def from_p(name: str, statistic: float, p_value: float) -> "TestResult":
+        p_value = float(min(max(p_value, 0.0), 1.0))
+        return TestResult(name, float(statistic), p_value, p_value >= ALPHA)
+
+
+def _bits(bits: Sequence[int], minimum: int) -> np.ndarray:
+    arr = np.asarray(bits, dtype=np.uint8).ravel()
+    if arr.size < minimum:
+        raise ValueError(f"test requires at least {minimum} bits, got {arr.size}")
+    if arr.size and arr.max(initial=0) > 1:
+        raise ValueError("input must be a 0/1 sequence")
+    return arr
+
+
+def monobit_test(bits: Sequence[int]) -> TestResult:
+    """Frequency (monobit) test."""
+    arr = _bits(bits, 32)
+    s = abs(int(2 * arr.sum()) - arr.size) / math.sqrt(arr.size)
+    return TestResult.from_p("monobit", s, erfc(s / math.sqrt(2.0)))
+
+
+def block_frequency_test(bits: Sequence[int], block_size: int = 16) -> TestResult:
+    """Frequency within a block."""
+    arr = _bits(bits, 2 * block_size)
+    n_blocks = arr.size // block_size
+    blocks = arr[: n_blocks * block_size].reshape(n_blocks, block_size)
+    proportions = blocks.mean(axis=1)
+    chi2 = 4.0 * block_size * float(np.sum((proportions - 0.5) ** 2))
+    return TestResult.from_p(
+        "block_frequency", chi2, gammaincc(n_blocks / 2.0, chi2 / 2.0)
+    )
+
+
+def runs_test(bits: Sequence[int]) -> TestResult:
+    """Runs test (number of uninterrupted runs of identical bits)."""
+    arr = _bits(bits, 32)
+    pi = float(arr.mean())
+    if abs(pi - 0.5) >= 2.0 / math.sqrt(arr.size):
+        # Prerequisite monobit failure: the runs p-value is defined as 0.
+        return TestResult.from_p("runs", float("nan"), 0.0)
+    v_obs = 1 + int(np.count_nonzero(arr[1:] != arr[:-1]))
+    num = abs(v_obs - 2.0 * arr.size * pi * (1 - pi))
+    den = 2.0 * math.sqrt(2.0 * arr.size) * pi * (1 - pi)
+    return TestResult.from_p("runs", v_obs, erfc(num / den))
+
+
+_LONGEST_RUN_TABLE = {
+    # block_size M: (categories upper bounds, probabilities)
+    8: ((1, 2, 3), (0.2148, 0.3672, 0.2305, 0.1875)),
+    128: ((4, 5, 6, 7, 8), (0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124)),
+}
+
+
+def longest_run_test(bits: Sequence[int]) -> TestResult:
+    """Longest run of ones within fixed-size blocks."""
+    arr = _bits(bits, 128)
+    block_size = 8 if arr.size < 6272 else 128
+    bounds, probabilities = _LONGEST_RUN_TABLE[block_size]
+    n_blocks = arr.size // block_size
+    blocks = arr[: n_blocks * block_size].reshape(n_blocks, block_size)
+    counts = np.zeros(len(probabilities))
+    for block in blocks:
+        longest = 0
+        current = 0
+        for bit in block:
+            current = current + 1 if bit else 0
+            longest = max(longest, current)
+        category = 0
+        for idx, bound in enumerate(bounds):
+            if longest <= bound:
+                category = idx
+                break
+        else:
+            category = len(bounds)
+        counts[category] += 1
+    expected = n_blocks * np.asarray(probabilities)
+    chi2 = float(np.sum((counts - expected) ** 2 / expected))
+    dof = len(probabilities) - 1
+    return TestResult.from_p("longest_run", chi2, gammaincc(dof / 2.0, chi2 / 2.0))
+
+
+def dft_test(bits: Sequence[int]) -> TestResult:
+    """Discrete Fourier transform (spectral) test."""
+    arr = _bits(bits, 64).astype(np.float64) * 2.0 - 1.0
+    n = arr.size
+    magnitudes = np.abs(np.fft.fft(arr))[: n // 2]
+    threshold = math.sqrt(math.log(1.0 / 0.05) * n)
+    n0 = 0.95 * n / 2.0
+    n1 = float(np.count_nonzero(magnitudes < threshold))
+    d = (n1 - n0) / math.sqrt(n * 0.95 * 0.05 / 4.0)
+    return TestResult.from_p("dft", d, erfc(abs(d) / math.sqrt(2.0)))
+
+
+def _psi_squared(arr: np.ndarray, m: int) -> float:
+    """Psi-squared statistic over overlapping m-bit patterns (with wrap)."""
+    if m == 0:
+        return 0.0
+    n = arr.size
+    extended = np.concatenate([arr, arr[: m - 1]]) if m > 1 else arr
+    # Encode each overlapping m-window as an integer.
+    codes = np.zeros(n, dtype=np.int64)
+    for offset in range(m):
+        codes = (codes << 1) | extended[offset:offset + n]
+    counts = np.bincount(codes, minlength=1 << m)
+    return float((1 << m) / n * np.sum(counts.astype(np.float64) ** 2) - n)
+
+
+def serial_test(bits: Sequence[int], m: int = 3) -> TestResult:
+    """Serial test: uniformity of overlapping m-bit patterns."""
+    if m < 2:
+        raise ValueError("serial test requires m >= 2")
+    arr = _bits(bits, 1 << (m + 2))
+    psi_m = _psi_squared(arr, m)
+    psi_m1 = _psi_squared(arr, m - 1)
+    psi_m2 = _psi_squared(arr, m - 2)
+    delta1 = psi_m - psi_m1
+    delta2 = psi_m - 2.0 * psi_m1 + psi_m2
+    p1 = gammaincc(1 << (m - 2), delta1 / 2.0)
+    p2 = gammaincc(1 << (m - 3), delta2 / 2.0) if m >= 3 else p1
+    return TestResult.from_p("serial", delta1, min(p1, p2))
+
+
+def approximate_entropy_test(bits: Sequence[int], m: int = 2) -> TestResult:
+    """Approximate entropy test: regularity of m vs m+1 patterns."""
+    arr = _bits(bits, 1 << (m + 3))
+    n = arr.size
+
+    def phi(block: int) -> float:
+        if block == 0:
+            return 0.0
+        extended = np.concatenate([arr, arr[: block - 1]]) if block > 1 else arr
+        codes = np.zeros(n, dtype=np.int64)
+        for offset in range(block):
+            codes = (codes << 1) | extended[offset:offset + n]
+        counts = np.bincount(codes, minlength=1 << block).astype(np.float64)
+        proportions = counts[counts > 0] / n
+        return float(np.sum(proportions * np.log(proportions)))
+
+    ap_en = phi(m) - phi(m + 1)
+    chi2 = 2.0 * n * (math.log(2.0) - ap_en)
+    return TestResult.from_p(
+        "approximate_entropy", chi2, gammaincc(1 << (m - 1), chi2 / 2.0)
+    )
+
+
+def cumulative_sums_test(bits: Sequence[int], forward: bool = True) -> TestResult:
+    """Cumulative sums (cusum) test."""
+    arr = _bits(bits, 64).astype(np.float64) * 2.0 - 1.0
+    if not forward:
+        arr = arr[::-1]
+    n = arr.size
+    z = float(np.max(np.abs(np.cumsum(arr))))
+    if z == 0.0:
+        return TestResult.from_p("cumulative_sums", 0.0, 0.0)
+    sqrt_n = math.sqrt(n)
+    total = 1.0
+    for k in range(int((-n / z + 1) // 4), int((n / z - 1) // 4) + 1):
+        total -= (norm.cdf((4 * k + 1) * z / sqrt_n)
+                  - norm.cdf((4 * k - 1) * z / sqrt_n))
+    for k in range(int((-n / z - 3) // 4), int((n / z - 1) // 4) + 1):
+        total += (norm.cdf((4 * k + 3) * z / sqrt_n)
+                  - norm.cdf((4 * k + 1) * z / sqrt_n))
+    return TestResult.from_p("cumulative_sums", z, total)
+
+
+_SUITE: Dict[str, Callable[[Sequence[int]], TestResult]] = {
+    "monobit": monobit_test,
+    "block_frequency": block_frequency_test,
+    "runs": runs_test,
+    "longest_run": longest_run_test,
+    "dft": dft_test,
+    "serial": serial_test,
+    "approximate_entropy": approximate_entropy_test,
+    "cumulative_sums": cumulative_sums_test,
+}
+
+
+def run_suite(bits: Sequence[int]) -> List[TestResult]:
+    """Run every applicable test on a bitstream."""
+    results = []
+    for name, test in _SUITE.items():
+        try:
+            results.append(test(bits))
+        except ValueError:
+            # Stream too short for this test: skip rather than fail.
+            continue
+    return results
+
+
+def pass_fraction(results: Sequence[TestResult]) -> float:
+    """Fraction of executed tests that passed."""
+    if not results:
+        raise ValueError("no test results")
+    return sum(1 for r in results if r.passed) / len(results)

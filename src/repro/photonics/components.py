@@ -1,0 +1,308 @@
+"""Passive photonic component models.
+
+Each component exposes its action on the complex optical field at a given
+wavelength and temperature.  Two-port devices return scalar complex
+transmission factors; four-port devices (couplers, MZIs, add-drop rings)
+return 2x2 complex transfer matrices acting on the (port-a, port-b) field
+vector.
+
+The models are the standard analytic transfer functions used in photonic
+circuit simulation; process variation enters through a
+:class:`~repro.photonics.variation.DieVariation` handle so that each
+fabricated die has its own frozen parameter set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.photonics.constants import (
+    DEFAULT_LOSS_DB_PER_CM,
+    DEFAULT_N_EFF,
+    DEFAULT_N_GROUP,
+    DEFAULT_WAVELENGTH,
+    SILICON_DN_DT,
+    loss_db_per_cm_to_alpha,
+)
+from repro.photonics.variation import DieVariation, OpticalEnvironment
+
+_NOMINAL_ENV = OpticalEnvironment()
+
+
+def effective_index(
+    wavelength: float,
+    neff0: float = DEFAULT_N_EFF,
+    ng: float = DEFAULT_N_GROUP,
+    neff_offset: float = 0.0,
+    delta_t: float = 0.0,
+) -> float:
+    """First-order dispersive, thermo-optic effective index.
+
+    n_eff(lambda, T) = n_eff0 - (n_g - n_eff0) * (lambda - lambda0)/lambda0
+                       + dn/dT * (T - T_ref) + offset
+    """
+    dispersion = -(ng - neff0) * (wavelength - DEFAULT_WAVELENGTH) / DEFAULT_WAVELENGTH
+    return neff0 + dispersion + SILICON_DN_DT * delta_t + neff_offset
+
+
+@dataclass
+class Waveguide:
+    """A straight or bent waveguide section of given physical length."""
+
+    length: float
+    label: str = "wg"
+    loss_db_per_cm: float = DEFAULT_LOSS_DB_PER_CM
+    neff0: float = DEFAULT_N_EFF
+    ng: float = DEFAULT_N_GROUP
+    variation: Optional[DieVariation] = None
+
+    def _neff(self, wavelength: float, env: OpticalEnvironment) -> float:
+        offset = self.variation.neff_offset(self.label) if self.variation else 0.0
+        return effective_index(wavelength, self.neff0, self.ng, offset, env.delta_t)
+
+    def _alpha(self) -> float:
+        loss = self.loss_db_per_cm
+        if self.variation:
+            loss *= self.variation.loss_factor(self.label)
+        return loss_db_per_cm_to_alpha(loss)
+
+    def transmission(
+        self, wavelength: float = DEFAULT_WAVELENGTH, env: OpticalEnvironment = _NOMINAL_ENV
+    ) -> complex:
+        """Complex field transmission exp(-alpha L / 2) * exp(-j beta L)."""
+        beta = 2.0 * math.pi * self._neff(wavelength, env) / wavelength
+        amplitude = math.exp(-self._alpha() * self.length / 2.0)
+        return amplitude * complex(math.cos(beta * self.length), -math.sin(beta * self.length))
+
+    def group_delay(self) -> float:
+        """Propagation delay of the section in seconds (n_g * L / c)."""
+        from repro.photonics.constants import SPEED_OF_LIGHT
+
+        return self.ng * self.length / SPEED_OF_LIGHT
+
+
+@dataclass
+class DirectionalCoupler:
+    """Lossless 2x2 directional coupler with power-coupling ratio ``kappa``."""
+
+    kappa: float = 0.5
+    label: str = "dc"
+    variation: Optional[DieVariation] = None
+
+    def coupling(self) -> float:
+        """Effective power-coupling ratio after process variation (clipped to (0,1))."""
+        kappa = self.kappa
+        if self.variation:
+            kappa *= self.variation.coupling_factor(self.label)
+        return min(max(kappa, 1e-6), 1.0 - 1e-6)
+
+    def matrix(self) -> np.ndarray:
+        """Unitary transfer matrix [[t, -j k], [-j k, t]]."""
+        kappa = self.coupling()
+        t = math.sqrt(1.0 - kappa)
+        k = math.sqrt(kappa)
+        return np.array([[t, -1j * k], [-1j * k, t]], dtype=np.complex128)
+
+
+@dataclass
+class PhaseShifter:
+    """Static phase element (used as an MZI arm bias)."""
+
+    phase: float = 0.0
+    label: str = "ps"
+    variation: Optional[DieVariation] = None
+    # Conversion from effective-index variation to phase variation assumes a
+    # fixed interaction length; 100 um is typical for a thermo-optic heater.
+    length: float = 100e-6
+
+    def shift(self, wavelength: float = DEFAULT_WAVELENGTH, env: OpticalEnvironment = _NOMINAL_ENV) -> float:
+        """Total phase including process and thermal contributions."""
+        offset = self.variation.neff_offset(self.label) if self.variation else 0.0
+        drift = SILICON_DN_DT * env.delta_t
+        return self.phase + 2.0 * math.pi * (offset + drift) * self.length / wavelength
+
+    def factor(self, wavelength: float = DEFAULT_WAVELENGTH, env: OpticalEnvironment = _NOMINAL_ENV) -> complex:
+        """Complex field factor exp(-j phi)."""
+        phi = self.shift(wavelength, env)
+        return complex(math.cos(phi), -math.sin(phi))
+
+
+@dataclass
+class MachZehnderInterferometer:
+    """2x2 MZI: coupler, differential arm (theta + variation), coupler."""
+
+    theta: float = 0.0
+    label: str = "mzi"
+    variation: Optional[DieVariation] = None
+    arm_length: float = 200e-6
+
+    def matrix(
+        self, wavelength: float = DEFAULT_WAVELENGTH, env: OpticalEnvironment = _NOMINAL_ENV
+    ) -> np.ndarray:
+        """Transfer matrix of the full interferometer."""
+        coupler_in = DirectionalCoupler(0.5, f"{self.label}.dc_in", self.variation)
+        coupler_out = DirectionalCoupler(0.5, f"{self.label}.dc_out", self.variation)
+        upper = PhaseShifter(self.theta, f"{self.label}.arm_u", self.variation, self.arm_length)
+        lower = PhaseShifter(0.0, f"{self.label}.arm_l", self.variation, self.arm_length)
+        arm = np.array(
+            [[upper.factor(wavelength, env), 0.0], [0.0, lower.factor(wavelength, env)]],
+            dtype=np.complex128,
+        )
+        return coupler_out.matrix() @ arm @ coupler_in.matrix()
+
+
+@dataclass
+class MicroringAllPass:
+    """All-pass microring resonator side-coupled to a bus waveguide.
+
+    Through-port field transmission (standard all-pass formula):
+
+        t(phi) = (tau - a * e^{-j phi}) / (1 - tau * a * e^{-j phi})
+
+    with tau the through-coupling amplitude, a the single-pass amplitude
+    transmission, and phi the round-trip phase.
+    """
+
+    radius: float = 10e-6
+    kappa: float = 0.1
+    label: str = "ring"
+    loss_db_per_cm: float = DEFAULT_LOSS_DB_PER_CM
+    neff0: float = DEFAULT_N_EFF
+    ng: float = DEFAULT_N_GROUP
+    variation: Optional[DieVariation] = None
+
+    @property
+    def circumference(self) -> float:
+        return 2.0 * math.pi * self.radius
+
+    def round_trip_phase(self, wavelength: float, env: OpticalEnvironment = _NOMINAL_ENV) -> float:
+        offset = self.variation.neff_offset(self.label) if self.variation else 0.0
+        neff = effective_index(wavelength, self.neff0, self.ng, offset, env.delta_t)
+        return 2.0 * math.pi * neff * self.circumference / wavelength
+
+    def single_pass_amplitude(self) -> float:
+        loss = self.loss_db_per_cm
+        if self.variation:
+            loss *= self.variation.loss_factor(self.label)
+        return math.exp(-loss_db_per_cm_to_alpha(loss) * self.circumference / 2.0)
+
+    def _tau(self) -> float:
+        kappa = self.kappa
+        if self.variation:
+            kappa *= self.variation.coupling_factor(f"{self.label}.kappa")
+        kappa = min(max(kappa, 1e-6), 1.0 - 1e-6)
+        return math.sqrt(1.0 - kappa)
+
+    def through_transmission(
+        self, wavelength: float = DEFAULT_WAVELENGTH, env: OpticalEnvironment = _NOMINAL_ENV
+    ) -> complex:
+        """Complex through-port transmission at the given wavelength."""
+        tau = self._tau()
+        a = self.single_pass_amplitude()
+        phase = complex(math.cos(self.round_trip_phase(wavelength, env)),
+                        -math.sin(self.round_trip_phase(wavelength, env)))
+        return (tau - a * phase) / (1.0 - tau * a * phase)
+
+    def free_spectral_range(self, wavelength: float = DEFAULT_WAVELENGTH) -> float:
+        """FSR in metres of wavelength: lambda^2 / (n_g * L)."""
+        return wavelength ** 2 / (self.ng * self.circumference)
+
+
+@dataclass
+class MicroringAddDrop:
+    """Add-drop microring with two bus waveguides (through + drop ports).
+
+    Through:  t(phi) = (tau1 - tau2 a e^{-j phi}) / (1 - tau1 tau2 a e^{-j phi})
+    Drop:     d(phi) = -sqrt(k1 k2 a) e^{-j phi/2} / (1 - tau1 tau2 a e^{-j phi})
+    """
+
+    radius: float = 10e-6
+    kappa_in: float = 0.1
+    kappa_drop: float = 0.1
+    label: str = "adring"
+    loss_db_per_cm: float = DEFAULT_LOSS_DB_PER_CM
+    neff0: float = DEFAULT_N_EFF
+    ng: float = DEFAULT_N_GROUP
+    variation: Optional[DieVariation] = None
+
+    @property
+    def circumference(self) -> float:
+        return 2.0 * math.pi * self.radius
+
+    def round_trip_phase(self, wavelength: float, env: OpticalEnvironment = _NOMINAL_ENV) -> float:
+        offset = self.variation.neff_offset(self.label) if self.variation else 0.0
+        neff = effective_index(wavelength, self.neff0, self.ng, offset, env.delta_t)
+        return 2.0 * math.pi * neff * self.circumference / wavelength
+
+    def single_pass_amplitude(self) -> float:
+        loss = self.loss_db_per_cm
+        if self.variation:
+            loss *= self.variation.loss_factor(self.label)
+        return math.exp(-loss_db_per_cm_to_alpha(loss) * self.circumference / 2.0)
+
+    def _couplings(self) -> tuple:
+        k1, k2 = self.kappa_in, self.kappa_drop
+        if self.variation:
+            k1 *= self.variation.coupling_factor(f"{self.label}.k1")
+            k2 *= self.variation.coupling_factor(f"{self.label}.k2")
+        clip = lambda k: min(max(k, 1e-6), 1.0 - 1e-6)  # noqa: E731
+        return clip(k1), clip(k2)
+
+    def responses(
+        self, wavelength: float = DEFAULT_WAVELENGTH, env: OpticalEnvironment = _NOMINAL_ENV
+    ) -> tuple:
+        """(through, drop) complex field responses at the given wavelength."""
+        k1, k2 = self._couplings()
+        tau1, tau2 = math.sqrt(1.0 - k1), math.sqrt(1.0 - k2)
+        a = self.single_pass_amplitude()
+        phi = self.round_trip_phase(wavelength, env)
+        ephi = complex(math.cos(phi), -math.sin(phi))
+        ehalf = complex(math.cos(phi / 2.0), -math.sin(phi / 2.0))
+        denom = 1.0 - tau1 * tau2 * a * ephi
+        through = (tau1 - tau2 * a * ephi) / denom
+        drop = -math.sqrt(k1 * k2 * a) * ehalf / denom
+        return through, drop
+
+    def drop_power(
+        self, wavelength: float = DEFAULT_WAVELENGTH, env: OpticalEnvironment = _NOMINAL_ENV
+    ) -> float:
+        """Normalised drop-port power |d|^2 in [0, 1]."""
+        __, drop = self.responses(wavelength, env)
+        return float(abs(drop) ** 2)
+
+    def free_spectral_range(self, wavelength: float = DEFAULT_WAVELENGTH) -> float:
+        """FSR in metres of wavelength: lambda^2 / (n_g * L)."""
+        return wavelength ** 2 / (self.ng * self.circumference)
+
+    def resonance_wavelengths(self, span: tuple = (1.545e-6, 1.555e-6), order_hint: int = 0) -> list:
+        """Approximate resonance wavelengths within ``span``.
+
+        Solves n_eff(lambda) * L = m * lambda for integer m, using the
+        first-order dispersion model.  Nominal environment, including the
+        die's process variation.
+        """
+        lo, hi = span
+        results = []
+        env = _NOMINAL_ENV
+        offset = self.variation.neff_offset(self.label) if self.variation else 0.0
+        length = self.circumference
+        # Bracket the mode orders covering the span.
+        m_hi = int(effective_index(lo, self.neff0, self.ng, offset, 0.0) * length / lo)
+        m_lo = int(effective_index(hi, self.neff0, self.ng, offset, 0.0) * length / hi)
+        for m in range(m_lo, m_hi + 2):
+            # Solve lambda = n_eff(lambda) * L / m by fixed-point iteration.
+            lam = (lo + hi) / 2.0
+            for __ in range(60):
+                neff = effective_index(lam, self.neff0, self.ng, offset, env.delta_t)
+                new_lam = neff * length / m
+                if abs(new_lam - lam) < 1e-16:
+                    lam = new_lam
+                    break
+                lam = new_lam
+            if lo <= lam <= hi:
+                results.append(lam)
+        return sorted(results)

@@ -1,0 +1,50 @@
+"""Physical constants and silicon-photonics platform defaults.
+
+The defaults correspond to a standard 220 nm Silicon-On-Insulator (SOI)
+platform at telecom wavelengths, the platform named in the paper
+(Sec. II-A).  All lengths are in metres, wavelengths in metres,
+temperatures in degrees Celsius unless stated otherwise.
+"""
+
+SPEED_OF_LIGHT = 299_792_458.0  # m/s
+PLANCK = 6.626_070_15e-34  # J*s
+ELEMENTARY_CHARGE = 1.602_176_634e-19  # C
+BOLTZMANN = 1.380_649e-23  # J/K
+
+# Telecom C-band centre used by the NEUROPULS laser source.
+DEFAULT_WAVELENGTH = 1.55e-6  # m
+
+# Typical SOI strip-waveguide values (220 x 450 nm cross-section).
+DEFAULT_N_EFF = 2.35  # effective index at 1550 nm
+DEFAULT_N_GROUP = 4.2  # group index
+DEFAULT_LOSS_DB_PER_CM = 2.0  # propagation loss
+
+# Thermo-optic coefficient of silicon: dn_eff/dT.
+SILICON_DN_DT = 1.86e-4  # 1/K
+
+REFERENCE_TEMPERATURE_C = 25.0
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB power ratio to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(linear: float) -> float:
+    """Convert a linear power ratio to dB."""
+    import math
+
+    if linear <= 0:
+        raise ValueError("linear power ratio must be positive")
+    return 10.0 * math.log10(linear)
+
+
+def loss_db_per_cm_to_alpha(loss_db_per_cm: float) -> float:
+    """Convert propagation loss in dB/cm to a field attenuation coefficient.
+
+    Returns alpha such that the *power* decays as exp(-alpha * L) with L in
+    metres; the field amplitude decays as exp(-alpha * L / 2).
+    """
+    import math
+
+    return loss_db_per_cm * 100.0 * math.log(10.0) / 10.0

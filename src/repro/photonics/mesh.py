@@ -1,0 +1,262 @@
+"""Passive multi-port scrambling architectures.
+
+Paper Fig. 2 describes the PUF core as a *passive architecture* that splits
+the modulated light over many paths, scrambles amplitude and phase, and —
+through resonant (memory) devices — mixes past bits with present ones,
+"similarly to what happens in reservoir computing".
+
+We model it as alternating stages of:
+
+* an instantaneous N x N unitary-like mixing layer built from 2x2 MZI
+  couplers in the Clements arrangement (amplitude + phase scrambling), and
+* a bank of per-channel ring resonators acting as discrete-time IIR
+  all-pass filters (temporal memory).
+
+Process variation perturbs every MZI phase, coupler ratio and ring
+round-trip phase per die, which is where the device fingerprint comes from.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.photonics.components import DirectionalCoupler, PhaseShifter
+from repro.photonics.constants import DEFAULT_WAVELENGTH
+from repro.photonics.variation import DieVariation, OpticalEnvironment
+from repro.utils.rng import derive_rng
+
+_NOMINAL_ENV = OpticalEnvironment()
+
+
+@dataclass
+class MixingLayer:
+    """One Clements-style layer of 2x2 MZI mixers over ``n_channels`` waveguides.
+
+    ``offset`` is 0 for even layers (pairs 0-1, 2-3, ...) and 1 for odd
+    layers (pairs 1-2, 3-4, ...), so consecutive layers entangle all
+    channels.  Nominal mixing angles come from the *design* seed (common to
+    all dies); per-die deviations come from the variation handle.
+    """
+
+    n_channels: int
+    layer_index: int
+    design_seed: int
+    label: str = "mix"
+    variation: Optional[DieVariation] = None
+    insertion_loss_db: float = 0.1
+    # Physical length of the scrambling paths feeding each mixer; at
+    # millimetre scale the accumulated index variation randomises the
+    # relative phases by order 2*pi per die.
+    scramble_path_length: float = 1.5e-3
+
+    def _pairs(self) -> List[tuple]:
+        offset = self.layer_index % 2
+        return [(i, i + 1) for i in range(offset, self.n_channels - 1, 2)]
+
+    def matrix(
+        self, wavelength: float = DEFAULT_WAVELENGTH, env: OpticalEnvironment = _NOMINAL_ENV
+    ) -> np.ndarray:
+        """Complex N x N transfer matrix of this layer."""
+        design_rng = derive_rng(self.design_seed, self.label, self.layer_index, "design")
+        matrix = np.eye(self.n_channels, dtype=np.complex128)
+        for (i, j) in self._pairs():
+            theta = float(design_rng.uniform(0.0, 2.0 * math.pi))
+            kappa = float(design_rng.uniform(0.2, 0.8))
+            element = f"{self.label}.{self.layer_index}.{i}"
+            coupler = DirectionalCoupler(kappa, f"{element}.dc", self.variation)
+            # Millimetre-scale scrambling paths: index variation integrates
+            # over the full path, giving order-2*pi per-die phase spread —
+            # the origin of the photonic fingerprint.
+            shifter = PhaseShifter(theta, f"{element}.ps", self.variation,
+                                   length=self.scramble_path_length)
+            two_by_two = coupler.matrix()
+            two_by_two[0, :] *= shifter.factor(wavelength, env)
+            block = np.eye(self.n_channels, dtype=np.complex128)
+            block[np.ix_([i, j], [i, j])] = two_by_two
+            matrix = block @ matrix
+        # Per-channel residual phases from path-length variation.
+        for ch in range(self.n_channels):
+            residual = PhaseShifter(
+                0.0, f"{self.label}.{self.layer_index}.res{ch}", self.variation,
+                length=self.scramble_path_length,
+            )
+            matrix[ch, :] *= residual.factor(wavelength, env)
+        loss = 10.0 ** (-self.insertion_loss_db / 20.0)
+        return loss * matrix
+
+
+@dataclass
+class DiscreteTimeRing:
+    """All-pass ring resonator as a discrete-time IIR filter.
+
+    Transfer function (delay of ``delay_samples`` per round trip):
+
+        H(z) = (tau - a e^{-j phi} z^{-D}) / (1 - tau a e^{-j phi} z^{-D})
+
+    which is the sampled equivalent of the analytic all-pass ring and
+    preserves its key property: energy from past samples recirculates and
+    interferes with the present input.
+    """
+
+    tau: float = 0.85
+    round_trip_amplitude: float = 0.96
+    round_trip_phase: float = 0.0
+    delay_samples: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tau < 1.0:
+            raise ValueError("tau must lie strictly between 0 and 1")
+        if not 0.0 < self.round_trip_amplitude <= 1.0:
+            raise ValueError("round-trip amplitude must lie in (0, 1]")
+        if self.delay_samples < 1:
+            raise ValueError("delay must be at least one sample")
+
+    def coefficients(self) -> tuple:
+        """(b, a) polynomial coefficients of H(z) for ``scipy.signal.lfilter``."""
+        rot = self.round_trip_amplitude * cmath.exp(-1j * self.round_trip_phase)
+        b = np.zeros(self.delay_samples + 1, dtype=np.complex128)
+        a = np.zeros(self.delay_samples + 1, dtype=np.complex128)
+        b[0], b[-1] = self.tau, -rot
+        a[0], a[-1] = 1.0, -self.tau * rot
+        return b, a
+
+    def filter(self, x: np.ndarray) -> np.ndarray:
+        """Apply the ring to complex sample stream(s) along the last axis."""
+        from scipy.signal import lfilter
+
+        x = np.asarray(x, dtype=np.complex128)
+        b, a = self.coefficients()
+        return lfilter(b, a, x, axis=-1)
+
+    def impulse_response(self, n_samples: int = 64) -> np.ndarray:
+        """First ``n_samples`` of the impulse response (for memory analysis)."""
+        impulse = np.zeros(n_samples, dtype=np.complex128)
+        impulse[0] = 1.0
+        return self.filter(impulse)
+
+    def memory_decay_samples(self, threshold: float = 1e-3) -> int:
+        """Samples until the recirculating energy falls below ``threshold``.
+
+        Quantifies the "response disappears after interrogation" property
+        the paper claims makes remanence attacks impossible (Sec. IV).
+        """
+        level = 1.0
+        per_trip = self.tau * self.round_trip_amplitude
+        trips = 0
+        while level > threshold and trips < 10_000:
+            level *= per_trip
+            trips += 1
+        return trips * self.delay_samples
+
+
+@dataclass
+class PassiveScrambler:
+    """The full passive PUF architecture: mixing layers + ring memory banks.
+
+    Parameters
+    ----------
+    n_channels:
+        Number of parallel waveguides (one photodiode each at the output).
+    n_stages:
+        Number of (mixing layer, ring bank) stages.
+    design_seed:
+        Seed of the *layout* (identical for every die of the family).
+    variation:
+        Frozen per-die variation; ``None`` gives the nominal design.
+    with_memory:
+        Disable to ablate the reservoir-like temporal mixing (DESIGN.md
+        ablation 4).
+    """
+
+    n_channels: int = 8
+    n_stages: int = 4
+    design_seed: int = 0
+    variation: Optional[DieVariation] = None
+    with_memory: bool = True
+    ring_delay_samples: int = 4
+    layers: List[MixingLayer] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_channels < 2:
+            raise ValueError("a scrambler needs at least two channels")
+        if self.n_stages < 1:
+            raise ValueError("a scrambler needs at least one stage")
+        self.layers = [
+            MixingLayer(self.n_channels, idx, self.design_seed,
+                        label="scr", variation=self.variation)
+            for idx in range(self.n_stages)
+        ]
+
+    def _ring(self, stage: int, channel: int) -> DiscreteTimeRing:
+        design_rng = derive_rng(self.design_seed, "ring", stage, channel)
+        phase = float(design_rng.uniform(0.0, 2.0 * math.pi))
+        if self.variation:
+            label = f"scr.ring.{stage}.{channel}"
+            # Ring phase is extremely sensitive to geometry: a full 2*pi of
+            # die-to-die spread is realistic for micrometre-scale rings.
+            phase += 2.0 * math.pi * 50.0 * self.variation.neff_offset(label)
+        # Ring coupling balances two security properties: low tau gives a
+        # strong (die-unique) echo but short memory; high tau extends the
+        # memory but weakens the echo.  tau ~ 0.88 with a ~ 0.99 keeps
+        # several bit slots of history alive while the echo still carries
+        # the die fingerprint.
+        tau = float(design_rng.uniform(0.84, 0.92))
+        return DiscreteTimeRing(
+            tau=tau,
+            round_trip_amplitude=0.99,
+            round_trip_phase=phase % (2.0 * math.pi),
+            delay_samples=self.ring_delay_samples,
+        )
+
+    def propagate(
+        self,
+        fields: np.ndarray,
+        wavelength: float = DEFAULT_WAVELENGTH,
+        env: OpticalEnvironment = _NOMINAL_ENV,
+    ) -> np.ndarray:
+        """Propagate field matrices through the PUF.
+
+        ``fields`` is either ``(n_channels, n_samples)`` for a single
+        interrogation or ``(batch, n_channels, n_samples)`` for a batch
+        sharing the same wavelength/environment.  The input light usually
+        enters on channel 0 only; use :meth:`launch` to build the input.
+        """
+        fields = np.asarray(fields, dtype=np.complex128)
+        squeeze = fields.ndim == 2
+        if squeeze:
+            fields = fields[np.newaxis]
+        if fields.shape[1] != self.n_channels:
+            raise ValueError(
+                f"expected {self.n_channels} channels, got {fields.shape[1]}"
+            )
+        current = fields
+        for stage, layer in enumerate(self.layers):
+            matrix = layer.matrix(wavelength, env)
+            current = np.einsum("ij,bjn->bin", matrix, current)
+            if self.with_memory:
+                filtered = np.empty_like(current)
+                for ch in range(self.n_channels):
+                    filtered[:, ch, :] = self._ring(stage, ch).filter(current[:, ch, :])
+                current = filtered
+        return current[0] if squeeze else current
+
+    def launch(self, stream: np.ndarray) -> np.ndarray:
+        """Place a single complex sample stream on input channel 0."""
+        stream = np.asarray(stream, dtype=np.complex128)
+        fields = np.zeros((self.n_channels, stream.size), dtype=np.complex128)
+        fields[0] = stream
+        return fields
+
+    def static_matrix(
+        self, wavelength: float = DEFAULT_WAVELENGTH, env: OpticalEnvironment = _NOMINAL_ENV
+    ) -> np.ndarray:
+        """Product of the mixing layers only (no memory): the CW response."""
+        matrix = np.eye(self.n_channels, dtype=np.complex128)
+        for layer in self.layers:
+            matrix = layer.matrix(wavelength, env) @ matrix
+        return matrix

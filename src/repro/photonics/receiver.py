@@ -1,0 +1,126 @@
+"""Opto-electronic receive chain: photodiode, TIA, ADC.
+
+The photodiode is the non-linear element the paper leans on (Sec. II-A):
+it detects |E|^2, so both amplitude *and* phase of the interfering field
+components shape the photocurrent.  The TIA and ADC close the loop back
+into the digital ASIC domain and contribute thermal noise and quantization,
+the main reliability limiters of the digitized responses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.photonics.constants import BOLTZMANN, ELEMENTARY_CHARGE
+
+
+@dataclass(frozen=True)
+class Photodiode:
+    """Square-law detector converting optical power to photocurrent.
+
+    Field samples are in sqrt(mW); photocurrent is in milliamperes.
+    """
+
+    responsivity_a_per_w: float = 0.9
+    dark_current_na: float = 10.0
+    bandwidth_hz: float = 20e9
+
+    def detect(
+        self,
+        field: np.ndarray,
+        rng: np.random.Generator,
+        noise_scale: float = 1.0,
+    ) -> np.ndarray:
+        """Photocurrent samples (mA) with shot noise and dark current."""
+        power_mw = np.abs(np.asarray(field, dtype=np.complex128)) ** 2
+        current_ma = self.responsivity_a_per_w * power_mw  # A/W * mW = mA
+        current_ma = current_ma + self.dark_current_na * 1e-6
+        # Shot noise: sigma_i = sqrt(2 q I B), converted to mA.
+        sigma_a = np.sqrt(2.0 * ELEMENTARY_CHARGE * np.clip(current_ma, 0, None) * 1e-3
+                          * self.bandwidth_hz)
+        noise = sigma_a * 1e3 * rng.standard_normal(current_ma.shape)
+        return current_ma + noise_scale * noise
+
+
+@dataclass(frozen=True)
+class TransimpedanceAmplifier:
+    """TIA converting photocurrent (mA) to voltage (V) with thermal noise."""
+
+    gain_ohm: float = 1_000.0
+    temperature_k: float = 300.0
+    noise_bandwidth_hz: float = 20e9
+
+    def input_referred_noise_ma(self) -> float:
+        """RMS input-referred current noise in mA (Johnson noise of R_f)."""
+        sigma_a = math.sqrt(4.0 * BOLTZMANN * self.temperature_k
+                            * self.noise_bandwidth_hz / self.gain_ohm)
+        return sigma_a * 1e3
+
+    def amplify(
+        self,
+        current_ma: np.ndarray,
+        rng: np.random.Generator,
+        noise_scale: float = 1.0,
+    ) -> np.ndarray:
+        """Output voltage samples in volts."""
+        noisy = current_ma + noise_scale * self.input_referred_noise_ma() \
+            * rng.standard_normal(np.shape(current_ma))
+        return noisy * 1e-3 * self.gain_ohm
+
+
+@dataclass(frozen=True)
+class AnalogToDigitalConverter:
+    """Uniform quantizer with configurable resolution and full scale."""
+
+    n_bits: int = 8
+    full_scale_v: float = 1.0
+
+    @property
+    def n_levels(self) -> int:
+        return 1 << self.n_bits
+
+    @property
+    def lsb(self) -> float:
+        return self.full_scale_v / self.n_levels
+
+    def quantize(self, voltage: np.ndarray) -> np.ndarray:
+        """Integer codes in [0, 2^n - 1], clipping out-of-range inputs."""
+        codes = np.floor(np.asarray(voltage, dtype=np.float64) / self.lsb)
+        return np.clip(codes, 0, self.n_levels - 1).astype(np.int64)
+
+    def to_voltage(self, codes: np.ndarray) -> np.ndarray:
+        """Mid-rise reconstruction of quantized codes."""
+        return (np.asarray(codes, dtype=np.float64) + 0.5) * self.lsb
+
+
+@dataclass(frozen=True)
+class ReceiverChain:
+    """Convenience composition photodiode -> TIA -> ADC."""
+
+    photodiode: Photodiode = Photodiode()
+    tia: TransimpedanceAmplifier = TransimpedanceAmplifier()
+    adc: AnalogToDigitalConverter = AnalogToDigitalConverter()
+
+    def digitize(
+        self,
+        field: np.ndarray,
+        rng: np.random.Generator,
+        noise_scale: float = 1.0,
+    ) -> np.ndarray:
+        """Full chain: field samples -> ADC codes."""
+        current = self.photodiode.detect(field, rng, noise_scale)
+        voltage = self.tia.amplify(current, rng, noise_scale)
+        return self.adc.quantize(voltage)
+
+    def analog_voltage(
+        self,
+        field: np.ndarray,
+        rng: np.random.Generator,
+        noise_scale: float = 1.0,
+    ) -> np.ndarray:
+        """Chain without quantization (for threshold-margin studies)."""
+        current = self.photodiode.detect(field, rng, noise_scale)
+        return self.tia.amplify(current, rng, noise_scale)

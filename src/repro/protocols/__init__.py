@@ -1,0 +1,49 @@
+"""Security services: mutual authentication, attestation, NN encryption, AKA."""
+
+from repro.protocols.aka import AkaError, AkaSession, establish_session
+from repro.protocols.attestation import (
+    AttestationDevice,
+    AttestationReport,
+    AttestationRequest,
+    AttestationVerdict,
+    AttestationVerifier,
+)
+from repro.protocols.mutual_auth import (
+    AuthDevice,
+    AuthenticationFailure,
+    AuthVerifier,
+    CRPDatabaseVerifier,
+    SessionRecord,
+    derive_challenge,
+    provision,
+    run_session,
+)
+from repro.protocols.nn_service import (
+    KeyVault,
+    NetworkOwner,
+    SecureAccelerator,
+    ServiceError,
+)
+
+__all__ = [
+    "AkaError",
+    "AkaSession",
+    "establish_session",
+    "AttestationDevice",
+    "AttestationReport",
+    "AttestationRequest",
+    "AttestationVerdict",
+    "AttestationVerifier",
+    "AuthDevice",
+    "AuthenticationFailure",
+    "AuthVerifier",
+    "CRPDatabaseVerifier",
+    "SessionRecord",
+    "derive_challenge",
+    "provision",
+    "run_session",
+    "KeyVault",
+    "NetworkOwner",
+    "SecureAccelerator",
+    "ServiceError",
+]

@@ -1,0 +1,296 @@
+"""HSC-IoT mutual authentication (paper Fig. 4, Sec. III-A).
+
+One CRP is shared between Device and Verifier at manufacturing time and
+rolled forward after every session:
+
+* Verifier -> Device: authentication request (session index, nonce);
+* Device: derives the next challenge ``c_{i+1} = RNG(r_i)``, measures the
+  fresh response ``r_{i+1}`` on the strong PUF, and sends
+
+      m = (r_i XOR r_{i+1}) || (H XOR CC) || N,   mac = MAC(m, r_i)
+
+  where H is the firmware hash and CC the clock count (integrity
+  evidence), N the nonce;
+* Verifier: checks the MAC with the shared ``r_i``, recovers ``r_{i+1}``,
+  checks H and CC against its references, and answers with
+  ``mac' = MAC(c_{i+1} || N, r_{i+1})``, proving knowledge of the *new*
+  secret;
+* both sides atomically roll the CRP to ``(c_{i+1}, r_{i+1})``.
+
+The Verifier stores exactly one CRP per device — the scalability argument
+against CRP-database schemes (Suh et al. [16]) that the paper makes;
+:class:`CRPDatabaseVerifier` implements that baseline for the FIG4 bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.mac import mac as compute_mac
+from repro.crypto.mac import verify_mac
+from repro.system.channel import Channel
+from repro.system.soc import DeviceSoC
+from repro.utils.bits import BitArray, bits_from_bytes, bytes_from_bits, xor_bits
+from repro.utils.rng import derive_rng
+from repro.utils.serialization import decode_fields, encode_fields
+
+
+class AuthenticationFailure(Exception):
+    """A protocol check failed (bad MAC, bad integrity evidence, replay)."""
+
+
+def _pad_bits(bits: BitArray) -> bytes:
+    padded = np.concatenate([
+        np.asarray(bits, dtype=np.uint8),
+        np.zeros((-len(bits)) % 8, dtype=np.uint8),
+    ])
+    return bytes_from_bits(padded)
+
+
+def derive_challenge(response: BitArray, n_bits: int) -> BitArray:
+    """c_{i+1} = RNG(r_i): expand the current response through the DRBG."""
+    drbg = HmacDrbg(_pad_bits(response), personalization=b"hsc-iot-challenge")
+    raw = drbg.generate(math.ceil(n_bits / 8))
+    return bits_from_bytes(raw)[:n_bits]
+
+
+@dataclass
+class SessionRecord:
+    """Bookkeeping of one authentication session (for the FIG4 bench)."""
+
+    session_index: int
+    success: bool
+    bytes_device_to_verifier: int
+    bytes_verifier_to_device: int
+    device_time_s: float
+    verifier_checks: str = "ok"
+
+
+class AuthDevice:
+    """Device side: owns the SoC (PUF, firmware, clock counter)."""
+
+    def __init__(self, soc: DeviceSoC, initial_response: BitArray,
+                 seed: int = 0):
+        self.soc = soc
+        self.current_response = np.asarray(initial_response, dtype=np.uint8)
+        self.seed = seed
+        self._session = 0
+        self._pending: Optional[Tuple[BitArray, BitArray]] = None
+        self.elapsed_s = 0.0
+
+    def handle_request(self, nonce: bytes,
+                       tamper_factor: float = 1.0) -> bytes:
+        """Produce the ``m || mac`` message of Fig. 4."""
+        challenge = derive_challenge(self.current_response,
+                                     self.soc.strong_puf.challenge_bits)
+        new_response, puf_time = self.soc.strong_puf_evaluate(challenge)
+        firmware_hash, hash_time = self.soc.firmware_hash()
+        clock_count = self.soc.measure_clock_count(tamper_factor)
+        masked_response = xor_bits(self.current_response, new_response)
+        cc_bytes = clock_count.to_bytes(8, "big")
+        integrity = bytes(h ^ c for h, c in zip(
+            firmware_hash, cc_bytes.rjust(len(firmware_hash), b"\x00")))
+        body = encode_fields([
+            self._session.to_bytes(4, "big"),
+            _pad_bits(masked_response),
+            integrity,
+            nonce,
+        ])
+        tag = compute_mac(body, _pad_bits(self.current_response))
+        self._pending = (challenge, new_response)
+        mac_time = self.soc.mac_time(len(body))
+        self.elapsed_s += puf_time + hash_time + mac_time
+        return encode_fields([body, tag])
+
+    def verify_confirmation(self, confirmation: bytes, nonce: bytes) -> None:
+        """Check mac' and roll the CRP forward (the last step of Fig. 4)."""
+        if self._pending is None:
+            raise AuthenticationFailure("no session in progress")
+        challenge, new_response = self._pending
+        expected_body = encode_fields([_pad_bits(challenge), nonce])
+        if not verify_mac(expected_body, _pad_bits(new_response), confirmation):
+            raise AuthenticationFailure("verifier confirmation rejected")
+        self.current_response = new_response
+        self._pending = None
+        self._session += 1
+
+
+class AuthVerifier:
+    """Verifier side: stores one CRP plus the device's integrity references."""
+
+    def __init__(
+        self,
+        initial_response: BitArray,
+        expected_firmware_hash: bytes,
+        expected_clock_count: int,
+        clock_tolerance: float = 0.05,
+        seed: int = 0,
+    ):
+        self.current_response = np.asarray(initial_response, dtype=np.uint8)
+        self.expected_firmware_hash = expected_firmware_hash
+        self.expected_clock_count = expected_clock_count
+        self.clock_tolerance = clock_tolerance
+        self.seed = seed
+        self._session = 0
+        self._pending_response: Optional[BitArray] = None
+        self._seen_tags: set = set()
+        self._nonce_counter = 0
+
+    def new_nonce(self) -> bytes:
+        # Fresh per *request*, not per session: a failed session must not
+        # reuse its nonce on retry.
+        nonce = derive_rng(self.seed, "nonce", self._nonce_counter).bytes(16)
+        self._nonce_counter += 1
+        return nonce
+
+    def process_response(self, message: bytes, nonce: bytes,
+                         challenge_bits: int) -> bytes:
+        """Verify ``m || mac``; emit the confirmation mac'."""
+        try:
+            body, tag = decode_fields(message)
+        except ValueError as exc:
+            raise AuthenticationFailure(f"malformed message: {exc}") from exc
+        if bytes(tag) in self._seen_tags:
+            raise AuthenticationFailure("replayed message")
+        if not verify_mac(body, _pad_bits(self.current_response), tag):
+            raise AuthenticationFailure("device MAC rejected")
+        self._seen_tags.add(bytes(tag))
+        session_raw, masked, integrity, echoed_nonce = decode_fields(body)
+        if int.from_bytes(session_raw, "big") != self._session:
+            raise AuthenticationFailure("session index mismatch")
+        if echoed_nonce != nonce:
+            raise AuthenticationFailure("nonce mismatch (replay or delay)")
+        masked_bits = bits_from_bytes(masked)[: self.current_response.size]
+        new_response = xor_bits(self.current_response, masked_bits)
+        self._check_integrity(integrity)
+        challenge = derive_challenge(self.current_response, challenge_bits)
+        confirmation = compute_mac(
+            encode_fields([_pad_bits(challenge), nonce]),
+            _pad_bits(new_response),
+        )
+        self._pending_response = new_response
+        return confirmation
+
+    def _check_integrity(self, integrity: bytes) -> None:
+        """Unmask CC with the expected hash; verify both fields."""
+        expected_hash = self.expected_firmware_hash
+        cc_field = bytes(h ^ i for h, i in zip(expected_hash, integrity))
+        clock_count = int.from_bytes(cc_field[-8:], "big")
+        if any(cc_field[:-8]):
+            raise AuthenticationFailure("firmware hash mismatch")
+        low = self.expected_clock_count * (1 - self.clock_tolerance)
+        high = self.expected_clock_count * (1 + self.clock_tolerance)
+        if not low <= clock_count <= high:
+            raise AuthenticationFailure(
+                f"clock count {clock_count} outside [{low:.0f}, {high:.0f}]"
+            )
+
+    def finalize(self) -> None:
+        """Roll the CRP after the confirmation went out."""
+        if self._pending_response is None:
+            raise AuthenticationFailure("no session to finalise")
+        self.current_response = self._pending_response
+        self._pending_response = None
+        self._session += 1
+
+    @property
+    def storage_bytes(self) -> int:
+        """Verifier-side storage: one response + references (scalability)."""
+        return (math.ceil(self.current_response.size / 8)
+                + len(self.expected_firmware_hash) + 8)
+
+
+def provision(soc: DeviceSoC, seed: int = 0) -> tuple:
+    """Manufacturing-time setup: measure the first CRP, build both parties."""
+    rng = derive_rng(seed, "provision")
+    challenge = rng.integers(0, 2, soc.strong_puf.challenge_bits, dtype=np.uint8)
+    response, __ = soc.strong_puf_evaluate(challenge)
+    device = AuthDevice(soc, response, seed)
+    firmware_hash, __ = soc.firmware_hash()
+    clock_count = soc.measure_clock_count()
+    verifier = AuthVerifier(response, firmware_hash, clock_count, seed=seed)
+    return device, verifier
+
+
+def run_session(
+    device: AuthDevice,
+    verifier: AuthVerifier,
+    channel: Optional[Channel] = None,
+    tamper_factor: float = 1.0,
+) -> SessionRecord:
+    """Execute one full mutual-authentication session over a channel."""
+    channel = channel or Channel()
+    index = verifier._session
+    nonce = verifier.new_nonce()
+    request, __ = channel.send(nonce)
+    message = device.handle_request(request, tamper_factor)
+    delivered, __ = channel.send(message)
+    try:
+        confirmation = verifier.process_response(
+            delivered, nonce, device.soc.strong_puf.challenge_bits
+        )
+        delivered_confirmation, __ = channel.send(confirmation)
+        device.verify_confirmation(delivered_confirmation, nonce)
+        verifier.finalize()
+        success = True
+        checks = "ok"
+    except AuthenticationFailure as failure:
+        success = False
+        checks = str(failure)
+    return SessionRecord(
+        session_index=index,
+        success=success,
+        bytes_device_to_verifier=len(message),
+        bytes_verifier_to_device=len(nonce) + 32,
+        device_time_s=device.elapsed_s,
+        verifier_checks=checks,
+    )
+
+
+class CRPDatabaseVerifier:
+    """The classic Suh-style baseline: a big per-device CRP database.
+
+    Stored for the scalability comparison of the FIG4 bench: the verifier
+    pre-collects ``n_crps`` challenge/response pairs at enrollment and
+    burns one per authentication.
+    """
+
+    def __init__(self, soc: DeviceSoC, n_crps: int, seed: int = 0):
+        rng = derive_rng(seed, "crpdb")
+        self._entries: List[Tuple[bytes, bytes]] = []
+        for index in range(n_crps):
+            challenge = rng.integers(0, 2, soc.strong_puf.challenge_bits,
+                                     dtype=np.uint8)
+            response, __ = soc.strong_puf_evaluate(challenge)
+            self._entries.append((_pad_bits(challenge), _pad_bits(response)))
+        self._cursor = 0
+
+    @property
+    def storage_bytes(self) -> int:
+        return sum(len(c) + len(r) for c, r in self._entries)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._entries) - self._cursor
+
+    def authenticate(self, soc: DeviceSoC, max_fractional_hd: float = 0.25) -> bool:
+        """Burn one stored CRP against the live device.
+
+        PUF re-measurement is noisy, so the classic scheme accepts
+        responses within a Hamming-distance threshold rather than
+        requiring equality.
+        """
+        if self._cursor >= len(self._entries):
+            raise AuthenticationFailure("CRP database exhausted")
+        challenge_bytes, expected = self._entries[self._cursor]
+        self._cursor += 1
+        challenge = bits_from_bytes(challenge_bytes)[: soc.strong_puf.challenge_bits]
+        response, __ = soc.strong_puf_evaluate(challenge)
+        expected_bits = bits_from_bytes(expected)[: response.size]
+        distance = float(np.mean(response != expected_bits))
+        return distance <= max_fractional_hd

@@ -1,0 +1,169 @@
+"""Neural-network configuration and data encryption service.
+
+Paper Sec. III-C and Table I:
+
+=================  ===================  ==================
+Function name      Parameters           Results
+=================  ===================  ==================
+load_network       ciphered_network
+execute_network    ciphered_input       ciphered_output
+=================  ===================  ==================
+
+The master key is derived *in hardware* from the photonic weak PUF
+through the fuzzy extractor (Fig. 1) and never leaves the hardware layer.
+Decryption and encryption happen inside :class:`SecureAccelerator`;
+plaintext never crosses the hardware/software boundary, which the class
+enforces by only ever returning sealed bytes and by recording every value
+handed to the software layer in :attr:`software_visible_log` (the TAB1
+bench asserts the plaintext is absent from it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.accelerator.network import NetworkConfig, NeuromorphicAccelerator
+from repro.crypto.fuzzy_extractor import FuzzyExtractor, HelperData
+from repro.crypto.modes import AuthenticatedCipher, AuthenticationError
+from repro.system.soc import DeviceSoC
+from repro.utils.rng import derive_rng
+
+
+class ServiceError(Exception):
+    """Service-level failure (bad ciphertext, missing network...)."""
+
+
+class KeyVault:
+    """Hardware key derivation: weak PUF -> fuzzy extractor -> master key.
+
+    The enrollment measurement produces the helper data; every later boot
+    re-measures the (noisy) PUF and reproduces the same key.  The key is
+    private to the hardware layer — no getter exists.
+    """
+
+    def __init__(self, soc: DeviceSoC, extractor: Optional[FuzzyExtractor] = None,
+                 seed: int = 0):
+        self.soc = soc
+        self.extractor = extractor or FuzzyExtractor(key_length=32, seed=seed)
+        fingerprint = self._measure_response(measurement=0)
+        result = self.extractor.generate(fingerprint)
+        self.helper: HelperData = result.helper
+        self._master_key = result.key
+
+    def _measure_response(self, measurement: int) -> np.ndarray:
+        """Read enough weak-PUF bits for the extractor's code length."""
+        needed = self.extractor.response_bits
+        blocks: List[np.ndarray] = []
+        collected = 0
+        index = 0
+        while collected < needed:
+            bits, __ = self.soc.weak_puf_read(measurement=measurement + 100 * index)
+            blocks.append(bits)
+            collected += bits.size
+            index += 1
+        return np.concatenate(blocks)[:needed]
+
+    def rederive_key(self, measurement: int = 1) -> bool:
+        """Boot-time key reproduction from a fresh noisy measurement.
+
+        Returns True when the reproduced key matches enrollment (the
+        normal case; ECC absorbs the noise).
+        """
+        from repro.crypto.fuzzy_extractor import KeyRecoveryError
+
+        noisy = self._measure_response(measurement)
+        try:
+            key = self.extractor.reproduce(noisy, self.helper)
+        except KeyRecoveryError:
+            return False
+        matches = key == self._master_key
+        if matches:
+            self._master_key = key
+        return matches
+
+    def cipher(self) -> AuthenticatedCipher:
+        """The hardware-layer AEAD bound to the master key."""
+        return AuthenticatedCipher(self._master_key)
+
+
+class SecureAccelerator:
+    """The hardware layer of Table I: ciphertext in, ciphertext out."""
+
+    def __init__(self, soc: DeviceSoC, vault: Optional[KeyVault] = None,
+                 seed: int = 0):
+        self.soc = soc
+        self.vault = vault or KeyVault(soc, seed=seed)
+        self.accelerator: NeuromorphicAccelerator = soc.accelerator
+        self.software_visible_log: List[bytes] = []
+        self._nonce_counter = 0
+        self.load_time_s = 0.0
+        self.execute_time_s = 0.0
+
+    def _next_nonce(self) -> bytes:
+        nonce = self._nonce_counter.to_bytes(6, "big")
+        self._nonce_counter += 1
+        return nonce
+
+    def load_network(self, ciphered_network: bytes) -> None:
+        """Table I ``load_network``: decrypt in hardware and program."""
+        cipher = self.vault.cipher()
+        try:
+            plaintext = cipher.decrypt(ciphered_network, associated=b"network")
+        except AuthenticationError as exc:
+            raise ServiceError(f"network rejected: {exc}") from exc
+        config = NetworkConfig.deserialize(plaintext)
+        self.accelerator.load(config)
+        self.load_time_s = self.soc.cipher_time(len(ciphered_network))
+        self.load_time_s += self.soc.accelerator_time(self.accelerator.n_mzis())
+        self.software_visible_log.append(b"<load_network: ok>")
+
+    def execute_network(self, ciphered_input: bytes) -> bytes:
+        """Table I ``execute_network``: sealed input -> sealed output."""
+        if not self.accelerator.is_loaded:
+            raise ServiceError("no network loaded")
+        cipher = self.vault.cipher()
+        try:
+            raw = cipher.decrypt(ciphered_input, associated=b"input")
+        except AuthenticationError as exc:
+            raise ServiceError(f"input rejected: {exc}") from exc
+        x = np.frombuffer(raw, dtype=np.float64)
+        output = self.accelerator.infer(x)
+        sealed = cipher.encrypt(output.tobytes(), nonce=self._next_nonce(),
+                                associated=b"output")
+        elapsed = self.soc.cipher_time(len(ciphered_input) + len(sealed))
+        elapsed += self.soc.accelerator_time(self.accelerator.n_mzis())
+        self.execute_time_s = elapsed
+        # Only the sealed output ever reaches the software layer.
+        self.software_visible_log.append(sealed)
+        return sealed
+
+
+class NetworkOwner:
+    """The external party that owns the NN and the data (shares the key).
+
+    In deployment the owner obtains the key through the AKA session
+    (Sec. IV) or provisioning; here it holds a cipher bound to the same
+    vault for test and bench purposes.
+    """
+
+    def __init__(self, vault: KeyVault, seed: int = 0):
+        self._cipher = vault.cipher()
+        self._rng = derive_rng(seed, "owner-nonce")
+
+    def _nonce(self) -> bytes:
+        return bytes(self._rng.integers(0, 256, 6, dtype=np.uint8).tolist())
+
+    def seal_network(self, config: NetworkConfig) -> bytes:
+        return self._cipher.encrypt(config.serialize(), nonce=self._nonce(),
+                                    associated=b"network")
+
+    def seal_input(self, x: np.ndarray) -> bytes:
+        data = np.asarray(x, dtype=np.float64).tobytes()
+        return self._cipher.encrypt(data, nonce=self._nonce(),
+                                    associated=b"input")
+
+    def open_output(self, sealed: bytes) -> np.ndarray:
+        raw = self._cipher.decrypt(sealed, associated=b"output")
+        return np.frombuffer(raw, dtype=np.float64)

@@ -1,0 +1,51 @@
+"""PUF primitives: photonic and electronic, weak and strong.
+
+The photonic devices (:class:`PhotonicWeakPUF`, :class:`PhotonicStrongPUF`)
+are the paper's contribution; the electronic devices (:class:`SRAMPUF`,
+:class:`ROPUF`, :class:`ArbiterPUF`, :class:`XORArbiterPUF`) are the
+baselines it compares against and the ASIC-side binding primitive.
+"""
+
+from repro.puf.arbiter import ArbiterPUF, XORArbiterPUF, parity_features
+from repro.puf.base import (
+    CRP,
+    NOMINAL_ENV,
+    AnalogMarginPUF,
+    PUF,
+    PUFEnvironment,
+    PUFFamily,
+    StrongPUF,
+    WeakPUF,
+)
+from repro.puf.composite import CompositePUF
+from repro.puf.encrypted import ChallengeEncryptedPUF
+from repro.puf.photonic_strong import PhotonicStrongPUF, photonic_strong_family
+from repro.puf.photonic_weak import PhotonicWeakPUF, photonic_weak_family
+from repro.puf.ro import ROPUF
+from repro.puf.sram import SRAMPUF
+from repro.puf.trng import EntropyFailure, HealthTestState, PhotonicTRNG
+
+__all__ = [
+    "ArbiterPUF",
+    "XORArbiterPUF",
+    "parity_features",
+    "CRP",
+    "NOMINAL_ENV",
+    "AnalogMarginPUF",
+    "PUF",
+    "PUFEnvironment",
+    "PUFFamily",
+    "StrongPUF",
+    "WeakPUF",
+    "CompositePUF",
+    "ChallengeEncryptedPUF",
+    "PhotonicStrongPUF",
+    "photonic_strong_family",
+    "PhotonicWeakPUF",
+    "photonic_weak_family",
+    "ROPUF",
+    "SRAMPUF",
+    "EntropyFailure",
+    "HealthTestState",
+    "PhotonicTRNG",
+]

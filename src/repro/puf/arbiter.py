@@ -1,0 +1,173 @@
+"""Arbiter PUF and XOR-Arbiter PUF models.
+
+The arbiter PUF is the canonical delay-based strong PUF: a rising edge
+races through ``n`` switch stages configured by the challenge bits and an
+arbiter latch at the end decides which path won.  Its additive linear
+delay model is also its weakness — the response is ``sign(w . phi(c))``
+for a parity feature vector ``phi``, which logistic regression learns from
+a few thousand CRPs (paper Sec. IV, [28]).  The XOR variant hardens it by
+XOR-ing ``k`` independent arbiter chains.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.puf.base import (
+    NOMINAL_ENV,
+    NOMINAL_SUPPLY_V,
+    AnalogMarginPUF,
+    PUFEnvironment,
+    StrongPUF,
+)
+from repro.utils.bits import BitArray
+from repro.utils.rng import derive_rng
+
+
+def parity_features(challenges: np.ndarray) -> np.ndarray:
+    """Map challenges to the arbiter-PUF parity feature vectors.
+
+    phi_i(c) = prod_{j >= i} (1 - 2 c_j), plus a constant 1 component for
+    the arbiter offset; shape (..., n + 1).  This is the transform under
+    which the arbiter PUF is exactly linear.
+    """
+    challenges = np.atleast_2d(np.asarray(challenges, dtype=np.int64))
+    signs = 1 - 2 * challenges  # 0/1 -> +1/-1
+    # Cumulative product from the right: phi_i = prod_{j>=i} signs_j.
+    phi = np.cumprod(signs[:, ::-1], axis=1)[:, ::-1]
+    ones = np.ones((challenges.shape[0], 1), dtype=np.int64)
+    return np.hstack([phi, ones]).astype(np.float64)
+
+
+class ArbiterPUF(StrongPUF, AnalogMarginPUF):
+    """Linear additive-delay arbiter PUF.
+
+    Parameters
+    ----------
+    n_stages:
+        Number of switch stages (= challenge bits).
+    sigma_noise:
+        Std. dev. of the arbiter decision noise relative to the stage delay
+        spread (sets the nominal intra-device error rate).
+    """
+
+    def __init__(
+        self,
+        n_stages: int = 64,
+        seed: int = 0,
+        die_index: int = 0,
+        sigma_noise: float = 0.03,
+        temp_noise_per_k: float = 0.002,
+    ):
+        super().__init__()
+        if n_stages < 2:
+            raise ValueError("an arbiter PUF needs at least two stages")
+        self.n_stages = n_stages
+        self.seed = seed
+        self.die_index = die_index
+        self.challenge_bits = n_stages
+        self.response_bits = 1
+        self.sigma_noise = sigma_noise
+        self.temp_noise_per_k = temp_noise_per_k
+        rng = derive_rng(seed, "arbiter", die_index, "delays")
+        self._weights = rng.normal(0.0, 1.0, size=n_stages + 1)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Frozen delay-difference weights (exposed for white-box studies)."""
+        return self._weights.copy()
+
+    def _noise_sigma(self, env: PUFEnvironment) -> float:
+        thermal = self.temp_noise_per_k * abs(env.temperature_c - 25.0)
+        supply = 0.01 * abs(env.supply_v - NOMINAL_SUPPLY_V) / 0.1
+        return (self.sigma_noise + thermal + supply) * env.noise_scale
+
+    def raw_delay(
+        self,
+        challenge: Sequence[int],
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> float:
+        """Noisy delay difference at the arbiter input."""
+        challenge = np.asarray(challenge, dtype=np.uint8)
+        if measurement is None:
+            measurement = self._measurement_counter
+            self._measurement_counter += 1
+        phi = parity_features(challenge)[0]
+        rng = derive_rng(self.seed, "arbiter", self.die_index, "noise",
+                         measurement, challenge.tobytes())
+        noise = float(rng.normal(0.0, self._noise_sigma(env)))
+        return float(phi @ self._weights) + noise
+
+    def margin(
+        self,
+        challenge: Sequence[int],
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> float:
+        return self.raw_delay(challenge, env, measurement)
+
+    def _evaluate(
+        self, challenge: BitArray, env: PUFEnvironment, measurement: int
+    ) -> BitArray:
+        delay = self.raw_delay(challenge, env, measurement)
+        return np.array([1 if delay > 0 else 0], dtype=np.uint8)
+
+    def evaluate_batch(
+        self,
+        challenges: np.ndarray,
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: int = 0,
+    ) -> np.ndarray:
+        """Vectorised evaluation of a (n, n_stages) challenge matrix."""
+        challenges = np.asarray(challenges, dtype=np.uint8)
+        phi = parity_features(challenges)
+        rng = derive_rng(self.seed, "arbiter", self.die_index, "batchnoise", measurement)
+        noise = rng.normal(0.0, self._noise_sigma(env), size=challenges.shape[0])
+        return ((phi @ self._weights + noise) > 0).astype(np.uint8)
+
+
+class XORArbiterPUF(StrongPUF):
+    """XOR of ``k`` independent arbiter chains sharing the challenge."""
+
+    def __init__(
+        self,
+        n_stages: int = 64,
+        k: int = 4,
+        seed: int = 0,
+        die_index: int = 0,
+        sigma_noise: float = 0.03,
+    ):
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.n_stages = n_stages
+        self.k = k
+        self.challenge_bits = n_stages
+        self.response_bits = 1
+        self._chains = [
+            ArbiterPUF(n_stages, seed, die_index * 1000 + chain, sigma_noise)
+            for chain in range(k)
+        ]
+
+    def _evaluate(
+        self, challenge: BitArray, env: PUFEnvironment, measurement: int
+    ) -> BitArray:
+        acc = 0
+        for chain in self._chains:
+            acc ^= int(chain.evaluate(challenge, env, measurement)[0])
+        return np.array([acc], dtype=np.uint8)
+
+    def evaluate_batch(
+        self,
+        challenges: np.ndarray,
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: int = 0,
+    ) -> np.ndarray:
+        """Vectorised XOR of the per-chain batch evaluations."""
+        acc = np.zeros(np.asarray(challenges).shape[0], dtype=np.uint8)
+        for chain in self._chains:
+            acc ^= chain.evaluate_batch(challenges, env, measurement)
+        return acc

@@ -1,0 +1,238 @@
+"""Core PUF abstractions.
+
+Terminology follows the paper (Sec. II):
+
+* A **weak PUF** has a small, enumerable challenge space (typically cell
+  addresses) and is used for key generation after post-processing.
+* A **strong PUF** has an exponential challenge space and is used for
+  authentication / attestation protocols that consume many CRPs.
+
+Every PUF in the library is deterministic given (device seed, challenge,
+environment, measurement index): the measurement index selects the noise
+realisation, so repeated measurements model re-evaluating the physical
+device, while identical indices reproduce a measurement exactly — which
+keeps every experiment in the repository replayable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.bits import BitArray, bits_from_int, int_from_bits
+
+NOMINAL_TEMPERATURE_C = 25.0
+NOMINAL_SUPPLY_V = 1.2
+
+
+@dataclass(frozen=True)
+class PUFEnvironment:
+    """Operating conditions during one PUF evaluation.
+
+    Attributes
+    ----------
+    temperature_c:
+        Junction / die temperature.
+    supply_v:
+        Core supply voltage (electronic PUFs).
+    age_hours:
+        Cumulative operating age; drives slow parameter drift (aging).
+    noise_scale:
+        Multiplier on all evaluation noise (1.0 = nominal conditions).
+    """
+
+    temperature_c: float = NOMINAL_TEMPERATURE_C
+    supply_v: float = NOMINAL_SUPPLY_V
+    age_hours: float = 0.0
+    noise_scale: float = 1.0
+
+    def with_temperature(self, temperature_c: float) -> "PUFEnvironment":
+        return replace(self, temperature_c=temperature_c)
+
+    def with_noise_scale(self, noise_scale: float) -> "PUFEnvironment":
+        return replace(self, noise_scale=noise_scale)
+
+    def with_age(self, age_hours: float) -> "PUFEnvironment":
+        return replace(self, age_hours=age_hours)
+
+
+NOMINAL_ENV = PUFEnvironment()
+
+
+@dataclass(frozen=True)
+class CRP:
+    """A challenge-response pair."""
+
+    challenge: BitArray
+    response: BitArray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "challenge", np.asarray(self.challenge, dtype=np.uint8))
+        object.__setattr__(self, "response", np.asarray(self.response, dtype=np.uint8))
+
+
+class PUF(abc.ABC):
+    """Abstract physical unclonable function.
+
+    Subclasses must set :attr:`challenge_bits` and :attr:`response_bits`
+    and implement :meth:`_evaluate`.
+    """
+
+    challenge_bits: int
+    response_bits: int
+
+    def __init__(self) -> None:
+        self._measurement_counter = 0
+
+    @abc.abstractmethod
+    def _evaluate(
+        self, challenge: BitArray, env: PUFEnvironment, measurement: int
+    ) -> BitArray:
+        """Produce the response bits for one challenge under one noise draw."""
+
+    def evaluate(
+        self,
+        challenge: Sequence[int],
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> BitArray:
+        """Evaluate the PUF on a challenge.
+
+        ``measurement`` selects the noise realisation; when omitted, an
+        internal counter supplies a fresh realisation per call, which is
+        what a caller re-measuring real hardware would observe.
+        """
+        challenge = np.asarray(challenge, dtype=np.uint8)
+        if challenge.size != self.challenge_bits:
+            raise ValueError(
+                f"challenge must have {self.challenge_bits} bits, got {challenge.size}"
+            )
+        if measurement is None:
+            measurement = self._measurement_counter
+            self._measurement_counter += 1
+        response = self._evaluate(challenge, env, measurement)
+        if response.size != self.response_bits:
+            raise AssertionError(
+                f"internal error: response has {response.size} bits, "
+                f"expected {self.response_bits}"
+            )
+        return response
+
+    def crp(
+        self,
+        challenge: Sequence[int],
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> CRP:
+        """Convenience: evaluate and wrap into a :class:`CRP`."""
+        challenge = np.asarray(challenge, dtype=np.uint8)
+        return CRP(challenge, self.evaluate(challenge, env, measurement))
+
+    def random_challenge(self, rng: np.random.Generator) -> BitArray:
+        """Draw a uniform challenge."""
+        return rng.integers(0, 2, size=self.challenge_bits, dtype=np.uint8)
+
+
+class WeakPUF(PUF):
+    """PUF with an enumerable challenge space (addresses).
+
+    Challenges are binary-encoded addresses; :meth:`read_all` returns the
+    device's full fingerprint bitmap, which is what key-generation flows
+    consume.
+    """
+
+    @property
+    @abc.abstractmethod
+    def n_addresses(self) -> int:
+        """Number of enumerable challenges."""
+
+    def address_challenge(self, address: int) -> BitArray:
+        """Encode an address as a challenge bit vector."""
+        if not 0 <= address < self.n_addresses:
+            raise ValueError(f"address {address} out of range [0, {self.n_addresses})")
+        return bits_from_int(address, self.challenge_bits)
+
+    def address_from_challenge(self, challenge: Sequence[int]) -> int:
+        address = int_from_bits(challenge)
+        if address >= self.n_addresses:
+            raise ValueError(f"challenge encodes invalid address {address}")
+        return address
+
+    def read_all(
+        self,
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> BitArray:
+        """Concatenated responses over every address (the fingerprint)."""
+        words = [
+            self.evaluate(self.address_challenge(addr), env, measurement)
+            for addr in range(self.n_addresses)
+        ]
+        return np.concatenate(words)
+
+
+class StrongPUF(PUF):
+    """PUF with an exponential challenge space."""
+
+    def challenge_space_size(self) -> int:
+        return 1 << self.challenge_bits
+
+
+class AnalogMarginPUF(PUF):
+    """Mixin interface for PUFs exposing an analog decision margin.
+
+    The margin is the signed analog quantity whose sign is the response
+    bit (RO counter difference, photocurrent difference...).  The
+    threshold-filtering technique of [13] (paper Sec. II-B) operates on
+    this value.
+    """
+
+    @abc.abstractmethod
+    def margin(
+        self,
+        challenge: Sequence[int],
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> float:
+        """Signed analog margin; the response bit is ``margin > 0``."""
+
+
+class PUFFamily:
+    """A population of identically designed devices (one per die).
+
+    ``factory(die_index)`` must return a PUF instance for that die.
+    Families are how uniqueness/bit-aliasing statistics are measured.
+    """
+
+    def __init__(self, factory, n_devices: int):
+        if n_devices < 1:
+            raise ValueError("a family needs at least one device")
+        self._factory = factory
+        self.n_devices = n_devices
+
+    def device(self, index: int) -> PUF:
+        if not 0 <= index < self.n_devices:
+            raise ValueError(f"device index {index} out of range [0, {self.n_devices})")
+        return self._factory(index)
+
+    def devices(self) -> Iterator[PUF]:
+        for index in range(self.n_devices):
+            yield self.device(index)
+
+    def response_matrix(
+        self,
+        challenges: Sequence[Sequence[int]],
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = 0,
+    ) -> np.ndarray:
+        """(n_devices, n_challenges * response_bits) response matrix."""
+        rows: List[np.ndarray] = []
+        for device in self.devices():
+            rows.append(np.concatenate([
+                device.evaluate(np.asarray(c, dtype=np.uint8), env, measurement)
+                for c in challenges
+            ]))
+        return np.vstack(rows)

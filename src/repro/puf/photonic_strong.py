@@ -1,0 +1,243 @@
+"""Photonic strong PUF: time-domain interrogation of the passive scrambler.
+
+Implements the Fig. 2 operation end to end: the challenge bit string
+drives the Mach-Zehnder modulator at 25 Gbit/s, the modulated field enters
+the passive scrambling architecture (mixing layers + ring memory, per-die
+process variation), and the photodiode array detects the per-channel,
+per-bit-slot energies.  Response bits come from comparing the energies of
+adjacent photodiodes in selected bit slots — a differential readout that
+needs no absolute reference.
+
+Because of the ring memory, the energy in slot ``n`` depends on challenge
+bits ``.. n-2, n-1, n`` (reservoir-like temporal mixing), which is what
+breaks the additive linear structure that makes electronic arbiter PUFs
+learnable (paper Sec. IV).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.photonics.mesh import PassiveScrambler
+from repro.photonics.receiver import Photodiode
+from repro.photonics.sources import Laser, MachZehnderModulator
+from repro.photonics.variation import DieVariation, OpticalEnvironment, VariationModel
+from repro.puf.base import NOMINAL_ENV, PUFEnvironment, PUFFamily, StrongPUF
+from repro.utils.bits import BitArray
+from repro.utils.rng import derive_rng
+
+
+class PhotonicStrongPUF(StrongPUF):
+    """Time-domain scrambling strong PUF.
+
+    Parameters
+    ----------
+    challenge_bits:
+        Length of the modulated challenge word.
+    n_channels / n_stages:
+        Geometry of the passive scrambler (output photodiode count and
+        mixing depth).
+    response_bits:
+        Number of response bits extracted per interrogation; they are the
+        adjacent-channel energy comparisons of the ring-down *guard slots*
+        that follow the challenge (after the reservoir has mixed the whole
+        word), falling back to the latest challenge slots if more bits are
+        requested than the guard region provides.
+    guard_slots:
+        Dark slots appended after the challenge.  During ring-down the
+        detected energy is an interferometric mixture of the trailing
+        challenge bits with no dominant single-bit term — the property
+        that defeats linear modeling attacks (Sec. IV).
+    with_memory:
+        Ablation hook: disable the ring memory (DESIGN.md ablation 4).
+    """
+
+    def __init__(
+        self,
+        challenge_bits: int = 64,
+        n_channels: int = 8,
+        n_stages: int = 12,
+        response_bits: int = 32,
+        seed: int = 0,
+        die_index: int = 0,
+        variation_model: Optional[VariationModel] = None,
+        laser: Optional[Laser] = None,
+        modulator: Optional[MachZehnderModulator] = None,
+        with_memory: bool = True,
+        noise_mw: float = 5e-4,
+        thermal_stabilization: float = 0.995,
+        guard_slots: int = 4,
+    ):
+        super().__init__()
+        if challenge_bits < 8:
+            raise ValueError("challenge must be at least 8 bits")
+        if guard_slots < 0:
+            raise ValueError("guard_slots must be non-negative")
+        max_bits = (n_channels - 1) * (challenge_bits + guard_slots)
+        if not 1 <= response_bits <= max_bits:
+            raise ValueError(f"response_bits must be in [1, {max_bits}]")
+        self.guard_slots = guard_slots
+        self.challenge_bits = challenge_bits
+        self.response_bits = response_bits
+        self.n_channels = n_channels
+        self.seed = seed
+        self.die_index = die_index
+        self.noise_mw = noise_mw
+        # Fraction of the ambient excursion removed by the on-chip
+        # temperature controller the paper plans for interferometric
+        # stability (Sec. II-B: "hardware approaches based on the
+        # temperature controller").  1.0 = perfect stabilisation.
+        if not 0.0 <= thermal_stabilization <= 1.0:
+            raise ValueError("thermal_stabilization must lie in [0, 1]")
+        self.thermal_stabilization = thermal_stabilization
+        self.variation_model = variation_model or VariationModel()
+        self._die = self.variation_model.sample_die(seed, die_index)
+        self.laser = laser or Laser(power_mw=1.0)
+        self.modulator = modulator or MachZehnderModulator(
+            bit_rate=25e9, samples_per_bit=4
+        )
+        self.scrambler = PassiveScrambler(
+            n_channels=n_channels,
+            n_stages=n_stages,
+            design_seed=seed,
+            variation=self._die,
+            with_memory=with_memory,
+        )
+        self.photodiode = Photodiode()
+        # Response bit (slot, adjacent-channel pair) assignments: latest
+        # slots first (guard/ring-down region, then trailing challenge
+        # slots) so every bit sees a fully mixed reservoir state.
+        pairs_per_slot = n_channels - 1
+        assignments = []
+        slot = challenge_bits + guard_slots - 1
+        while len(assignments) < response_bits:
+            for pair in range(pairs_per_slot):
+                assignments.append((slot, pair))
+                if len(assignments) == response_bits:
+                    break
+            slot -= 1
+        self._assignments = assignments
+
+    @property
+    def total_slots(self) -> int:
+        """Modulated challenge slots plus dark guard slots."""
+        return self.challenge_bits + self.guard_slots
+
+    def _optical_env(self, env: PUFEnvironment) -> OpticalEnvironment:
+        residual = (env.temperature_c - 25.0) * (1.0 - self.thermal_stabilization)
+        return OpticalEnvironment(
+            temperature_c=25.0 + residual,
+            laser_power_mw=self.laser.power_mw,
+            detection_noise_scale=env.noise_scale,
+        )
+
+    def slot_energies(
+        self,
+        challenge: Sequence[int],
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> np.ndarray:
+        """(n_channels, total_slots) per-slot detected energies (mW)."""
+        return self.slot_energies_batch(
+            np.asarray(challenge, dtype=np.uint8)[np.newaxis, :], env, measurement
+        )[0]
+
+    def slot_energies_batch(
+        self,
+        challenges: np.ndarray,
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> np.ndarray:
+        """(batch, n_channels, total_slots) energies for many challenges."""
+        challenges = np.atleast_2d(np.asarray(challenges, dtype=np.uint8))
+        if challenges.shape[1] != self.challenge_bits:
+            raise ValueError(
+                f"challenges must have {self.challenge_bits} bits, "
+                f"got {challenges.shape[1]}"
+            )
+        if measurement is None:
+            measurement = self._measurement_counter
+            self._measurement_counter += 1
+        spb = self.modulator.samples_per_bit
+        n_samples = self.modulator.n_samples(self.total_slots)
+        optical = self._optical_env(env)
+        rng = derive_rng(self.seed, "pspuf", self.die_index, "noise", measurement)
+
+        carrier = np.full(n_samples, self.laser.field_amplitude(),
+                          dtype=np.complex128)
+        batch = challenges.shape[0]
+        guard = np.zeros((batch, self.guard_slots), dtype=np.uint8)
+        words = np.hstack([challenges, guard])
+        # Launching on the middle channel halves the mixing depth needed to
+        # reach the outermost photodiodes.
+        launch = self.n_channels // 2
+        fields = np.zeros((batch, self.n_channels, n_samples), dtype=np.complex128)
+        for b in range(batch):
+            fields[b, launch] = self.modulator.modulate(carrier, words[b])
+        out = self.scrambler.propagate(fields, self.laser.wavelength, optical)
+        power = np.abs(out) ** 2  # mW per sample
+        # Integrate per bit slot.
+        energies = power.reshape(batch, self.n_channels,
+                                 self.total_slots, spb).mean(axis=3)
+        # Detection noise: shot + thermal lumped into one equivalent term.
+        noise = rng.normal(0.0, self.noise_mw * env.noise_scale, size=energies.shape)
+        return energies + noise
+
+    def _evaluate(
+        self, challenge: BitArray, env: PUFEnvironment, measurement: int
+    ) -> BitArray:
+        energies = self.slot_energies(challenge, env, measurement)
+        bits = [
+            1 if energies[pair, slot] > energies[pair + 1, slot] else 0
+            for (slot, pair) in self._assignments
+        ]
+        return np.array(bits, dtype=np.uint8)
+
+    def evaluate_batch(
+        self,
+        challenges: np.ndarray,
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> np.ndarray:
+        """(batch, response_bits) responses for a matrix of challenges."""
+        energies = self.slot_energies_batch(challenges, env, measurement)
+        columns = []
+        for (slot, pair) in self._assignments:
+            columns.append(
+                (energies[:, pair, slot] > energies[:, pair + 1, slot]).astype(np.uint8)
+            )
+        return np.stack(columns, axis=1)
+
+    def interrogation_time_s(self) -> float:
+        """Wall-clock duration of one interrogation (incl. guard slots)."""
+        return self.total_slots * self.modulator.bit_period
+
+    def response_lifetime_s(self) -> float:
+        """Time until the recirculating optical response has decayed.
+
+        The paper claims the response exists only during interrogation and
+        for < 100 ns afterwards (Sec. IV); here it is the ring memory decay
+        time after the last challenge bit.
+        """
+        ring = self.scrambler._ring(0, 0)
+        samples = ring.memory_decay_samples(threshold=1e-4)
+        return samples / self.modulator.sample_rate
+
+    def throughput_bits_per_s(self) -> float:
+        """Challenge consumption rate of the interrogation chain."""
+        return self.modulator.bit_rate
+
+
+def photonic_strong_family(
+    n_devices: int,
+    seed: int = 0,
+    **kwargs,
+) -> PUFFamily:
+    """A family of :class:`PhotonicStrongPUF` devices sharing one design."""
+    return PUFFamily(
+        lambda die: PhotonicStrongPUF(seed=seed, die_index=die, **kwargs),
+        n_devices,
+    )

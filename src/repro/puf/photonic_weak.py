@@ -1,0 +1,253 @@
+"""Photonic weak PUF: symmetric microring-resonator array.
+
+Models the architecture of Jimenez et al. [12] (paper Sec. II-A): an array
+of nominally identical add-drop microrings is probed at fixed wavelengths;
+fabrication variation detunes each ring's resonance by a fraction of its
+linewidth, so the drop-port photocurrents of a *symmetric pair* of rings
+differ by a device-unique signed amount.  The sign is the response bit and
+the photocurrent difference is the analog margin used by the
+photocurrent-threshold filter the paper proposes (Sec. II-B).
+
+The differential readout also gives first-order common-mode rejection of
+temperature drift: both rings of a pair shift together with temperature,
+and only the (device-unique) differential detuning decides the bit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.photonics.components import MicroringAddDrop
+from repro.photonics.constants import DEFAULT_N_EFF
+from repro.photonics.receiver import ReceiverChain
+from repro.photonics.variation import DieVariation, OpticalEnvironment, VariationModel
+from repro.puf.base import (
+    NOMINAL_ENV,
+    AnalogMarginPUF,
+    PUFEnvironment,
+    PUFFamily,
+    WeakPUF,
+)
+from repro.utils.bits import BitArray
+from repro.utils.rng import derive_rng
+
+
+def _optical_environment(env: PUFEnvironment) -> OpticalEnvironment:
+    """Translate the generic PUF environment into the photonic one."""
+    return OpticalEnvironment(
+        temperature_c=env.temperature_c,
+        detection_noise_scale=env.noise_scale,
+    )
+
+
+class PhotonicWeakPUF(WeakPUF, AnalogMarginPUF):
+    """Microring-array weak PUF with differential pair readout.
+
+    Parameters
+    ----------
+    n_rings:
+        Number of rings; pairs are (0,1), (2,3), ... so ``n_rings/2``
+        response bits per probe wavelength.
+    n_wavelengths:
+        Number of probe wavelengths spread across one resonance linewidth;
+        each (pair, wavelength) combination is one addressable challenge.
+    variation_model:
+        Fabrication spread; the default is calibrated so the differential
+        detuning is a fraction of the ring linewidth (maximum entropy
+        without saturating).
+    laser_power_mw:
+        Probe power; raising it improves the SNR of every margin.
+    """
+
+    def __init__(
+        self,
+        n_rings: int = 32,
+        n_wavelengths: int = 4,
+        seed: int = 0,
+        die_index: int = 0,
+        variation_model: Optional[VariationModel] = None,
+        laser_power_mw: float = 1.0,
+        ring_radius: float = 10e-6,
+        kappa: float = 0.1,
+        receiver: Optional[ReceiverChain] = None,
+        thermal_tracking: bool = True,
+        tracking_slope_mismatch: float = 0.01,
+        sigma_systematic_neff: float = 1e-4,
+    ):
+        super().__init__()
+        if n_rings < 2 or n_rings % 2:
+            raise ValueError("n_rings must be an even number >= 2")
+        if n_wavelengths < 1:
+            raise ValueError("need at least one probe wavelength")
+        self.n_rings = n_rings
+        self.n_wavelengths = n_wavelengths
+        self.seed = seed
+        self.die_index = die_index
+        self.laser_power_mw = laser_power_mw
+        self.receiver = receiver or ReceiverChain()
+        self.variation_model = variation_model or VariationModel(
+            # Local linewidth-scale detuning dominates the fingerprint.
+            sigma_neff_global=1e-4, sigma_neff_local=3e-4
+        )
+        # Thermal tracking: the probe laser is locked to an on-chip
+        # reference ring (the "photonic sensor for temperature
+        # measurement" of Sec. II-B), cancelling the common-mode
+        # resonance drift.  What remains is the per-ring thermo-optic
+        # *slope* mismatch, a small fraction of the nominal dn/dT.
+        self.thermal_tracking = thermal_tracking
+        self.tracking_slope_mismatch = tracking_slope_mismatch
+        self._die = self.variation_model.sample_die(seed, die_index)
+        slope_rng = derive_rng(seed, "pwpuf", die_index, "toslope")
+        self._slope_mismatch = slope_rng.normal(
+            0.0, tracking_slope_mismatch, size=n_rings
+        )
+        # Layout-induced systematic detuning: identical on every die (no
+        # die_index in the derivation context).  Rings with a large
+        # systematic offset give the same bit on most devices — the
+        # aliasing the photocurrent-threshold filter must avoid
+        # (Sec. II-B, photonic analogue of Fig. 3).
+        design_rng = derive_rng(seed, "pwpuf", "systematic")
+        systematic = design_rng.normal(0.0, sigma_systematic_neff, size=n_rings)
+        self._rings = [
+            MicroringAddDrop(
+                radius=ring_radius,
+                kappa_in=kappa,
+                kappa_drop=kappa,
+                label=f"pwpuf.ring{i}",
+                neff0=DEFAULT_N_EFF + float(systematic[i]),
+                variation=self._die,
+            )
+            for i in range(n_rings)
+        ]
+        self._pairs: List[Tuple[int, int]] = [
+            (2 * i, 2 * i + 1) for i in range(n_rings // 2)
+        ]
+        # Probe wavelengths: the *design* resonance comb, offset by
+        # fractions of a linewidth so different probes sample different
+        # parts of the resonance flank.
+        nominal = MicroringAddDrop(radius=ring_radius, kappa_in=kappa, kappa_drop=kappa)
+        resonance = nominal.resonance_wavelengths()[0]
+        linewidth = self._nominal_linewidth(nominal)
+        offsets = np.linspace(-0.5, 0.5, n_wavelengths) * linewidth
+        self._probe_wavelengths = [resonance + float(o) for o in offsets]
+        n_challenges = len(self._pairs) * n_wavelengths
+        self.challenge_bits = max(1, math.ceil(math.log2(n_challenges)))
+        self.response_bits = 1
+
+    @staticmethod
+    def _nominal_linewidth(ring: MicroringAddDrop) -> float:
+        """FWHM of the nominal ring resonance."""
+        k1, k2 = ring.kappa_in, ring.kappa_drop
+        r = math.sqrt((1 - k1) * (1 - k2)) * ring.single_pass_amplitude()
+        finesse = math.pi * math.sqrt(r) / (1.0 - r)
+        return ring.free_spectral_range() / finesse
+
+    @property
+    def n_addresses(self) -> int:
+        return len(self._pairs) * self.n_wavelengths
+
+    @property
+    def probe_wavelengths(self) -> List[float]:
+        return list(self._probe_wavelengths)
+
+    def _decode_address(self, address: int) -> Tuple[Tuple[int, int], float]:
+        pair = self._pairs[address % len(self._pairs)]
+        wavelength = self._probe_wavelengths[address // len(self._pairs)]
+        return pair, wavelength
+
+    def photocurrent_difference(
+        self,
+        address: int,
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> float:
+        """Differential drop-port voltage of the addressed pair (volts).
+
+        This is the analog margin: the response bit is its sign, and the
+        photocurrent-threshold filter (paper Sec. II-B) selects challenges
+        by its magnitude.
+        """
+        if not 0 <= address < self.n_addresses:
+            raise ValueError(f"address {address} out of range")
+        if measurement is None:
+            measurement = self._measurement_counter
+            self._measurement_counter += 1
+        (ring_a, ring_b), wavelength = self._decode_address(address)
+        if self.thermal_tracking:
+            # The tracked probe cancels the common dn/dT shift; each ring
+            # keeps only its slope-mismatch residual, modelled as an
+            # equivalent probe detuning.
+            delta_t = env.temperature_c - 25.0
+            from repro.photonics.constants import DEFAULT_N_GROUP, SILICON_DN_DT
+
+            base = OpticalEnvironment(
+                temperature_c=25.0, detection_noise_scale=env.noise_scale
+            )
+            detune = (wavelength * SILICON_DN_DT * delta_t / DEFAULT_N_GROUP)
+            power_a = self._rings[ring_a].drop_power(
+                wavelength + detune * self._slope_mismatch[ring_a], base)
+            power_b = self._rings[ring_b].drop_power(
+                wavelength + detune * self._slope_mismatch[ring_b], base)
+        else:
+            optical = _optical_environment(env)
+            power_a = self._rings[ring_a].drop_power(wavelength, optical)
+            power_b = self._rings[ring_b].drop_power(wavelength, optical)
+        field_a = math.sqrt(self.laser_power_mw * power_a)
+        field_b = math.sqrt(self.laser_power_mw * power_b)
+        rng = derive_rng(self.seed, "pwpuf", self.die_index, "noise",
+                         measurement, address)
+        fields = np.array([field_a, field_b], dtype=np.complex128)
+        voltages = self.receiver.analog_voltage(fields, rng, env.noise_scale)
+        return float(voltages[0] - voltages[1])
+
+    def margin(
+        self,
+        challenge: Sequence[int],
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> float:
+        address = self.address_from_challenge(np.asarray(challenge, dtype=np.uint8))
+        return self.photocurrent_difference(address, env, measurement)
+
+    def _evaluate(
+        self, challenge: BitArray, env: PUFEnvironment, measurement: int
+    ) -> BitArray:
+        address = self.address_from_challenge(challenge)
+        diff = self.photocurrent_difference(address, env, measurement)
+        return np.array([1 if diff > 0 else 0], dtype=np.uint8)
+
+    def all_margins(
+        self,
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> np.ndarray:
+        """Margin of every address (one measurement sweep)."""
+        if measurement is None:
+            measurement = self._measurement_counter
+            self._measurement_counter += 1
+        return np.array([
+            self.photocurrent_difference(a, env, measurement)
+            for a in range(self.n_addresses)
+        ])
+
+    def read_all(
+        self,
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> BitArray:
+        return (self.all_margins(env, measurement) > 0).astype(np.uint8)
+
+
+def photonic_weak_family(
+    n_devices: int,
+    seed: int = 0,
+    **kwargs,
+) -> PUFFamily:
+    """A family of :class:`PhotonicWeakPUF` devices sharing one design."""
+    return PUFFamily(
+        lambda die: PhotonicWeakPUF(seed=seed, die_index=die, **kwargs),
+        n_devices,
+    )

@@ -1,0 +1,176 @@
+"""Photonic true random number generator (TRNG).
+
+The same receive chain that digitises PUF responses (Fig. 2: PD -> TIA ->
+ADC) doubles as an entropy source: the photocurrent's shot noise is
+fundamentally random, so the least-significant ADC bits of a constant
+optical level form a raw entropy stream.  Conditioned through the
+HMAC-DRBG, this supplies the nonces and session randomness the paper's
+services consume — the "related services" of the title beyond PUF key
+material.
+
+Architecture (standard NIST SP 800-90B decomposition):
+
+* **noise source** — shot-noise-limited photodetection of a CW level;
+* **health tests** — repetition-count and adaptive-proportion tests run
+  continuously on the raw bits;
+* **conditioner** — HMAC-DRBG keyed by raw blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.crypto.drbg import HmacDrbg
+from repro.photonics.receiver import ReceiverChain
+from repro.photonics.sources import Laser
+from repro.utils.bits import BitArray, bytes_from_bits
+from repro.utils.rng import derive_rng
+
+
+class EntropyFailure(Exception):
+    """A continuous health test tripped: the source must be disabled."""
+
+
+@dataclass
+class HealthTestState:
+    """SP 800-90B continuous health tests over a binary raw stream.
+
+    * Repetition count test: fail when one value repeats ``rct_cutoff``
+      times in a row (a stuck source).
+    * Adaptive proportion test: fail when one value occupies more than
+      ``apt_cutoff`` of a ``window`` -bit window (a heavily biased source).
+
+    Cutoffs follow the SP 800-90B formulas for a claimed min-entropy of
+    ~0.5 bits/bit at a 2^-20 false-positive rate.
+    """
+
+    rct_cutoff: int = 41
+    window: int = 512
+    apt_cutoff: int = 410
+    _last: Optional[int] = None
+    _run: int = 0
+    _window_count: int = 0
+    _window_ones: int = 0
+    failures: int = 0
+
+    def update(self, bits: BitArray) -> None:
+        """Feed raw bits; raises :class:`EntropyFailure` on a trip."""
+        for bit in np.asarray(bits, dtype=np.uint8):
+            value = int(bit)
+            # Repetition count.
+            if value == self._last:
+                self._run += 1
+                if self._run >= self.rct_cutoff:
+                    self.failures += 1
+                    raise EntropyFailure(
+                        f"repetition count {self._run} >= {self.rct_cutoff}"
+                    )
+            else:
+                self._last = value
+                self._run = 1
+            # Adaptive proportion.
+            self._window_ones += value
+            self._window_count += 1
+            if self._window_count == self.window:
+                majority = max(self._window_ones,
+                               self.window - self._window_ones)
+                if majority > self.apt_cutoff:
+                    self.failures += 1
+                    self._window_count = 0
+                    self._window_ones = 0
+                    raise EntropyFailure(
+                        f"adaptive proportion {majority} > {self.apt_cutoff}"
+                    )
+                self._window_count = 0
+                self._window_ones = 0
+
+
+class PhotonicTRNG:
+    """Shot-noise TRNG on the PUF receive chain.
+
+    Parameters
+    ----------
+    seed, stream_id:
+        Identify the physical noise realisation (deterministic per pair,
+        independent across pairs — the usual reproducibility contract).
+    raw_block_bits:
+        Raw bits gathered per conditioning call.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        stream_id: int = 0,
+        laser: Optional[Laser] = None,
+        receiver: Optional[ReceiverChain] = None,
+        raw_block_bits: int = 1024,
+        health: Optional[HealthTestState] = None,
+    ):
+        self.laser = laser or Laser(power_mw=0.5)
+        self.receiver = receiver or ReceiverChain()
+        self.raw_block_bits = raw_block_bits
+        self.health = health or HealthTestState()
+        self.seed = seed
+        self.stream_id = stream_id
+        self._draws = 0
+        self._conditioner: Optional[HmacDrbg] = None
+
+    def raw_bits(self, n_bits: int) -> BitArray:
+        """Raw entropy bits: LSBs of the digitised shot noise."""
+        rng = derive_rng(self.seed, "trng", self.stream_id, self._draws)
+        self._draws += 1
+        field = np.full(n_bits, self.laser.field_amplitude(),
+                        dtype=np.complex128)
+        codes = self.receiver.digitize(field, rng)
+        return (codes & 1).astype(np.uint8)
+
+    def _reseed_conditioner(self) -> None:
+        raw = self.raw_bits(self.raw_block_bits)
+        self.health.update(raw)
+        block = bytes_from_bits(raw[: (raw.size // 8) * 8])
+        if self._conditioner is None:
+            self._conditioner = HmacDrbg(block, personalization=b"photonic-trng")
+        else:
+            self._conditioner.reseed(block)
+
+    def random_bytes(self, n_bytes: int) -> bytes:
+        """Conditioned output bytes (reseeds from raw noise per call)."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        self._reseed_conditioner()
+        assert self._conditioner is not None
+        return self._conditioner.generate(n_bytes)
+
+    def random_bits(self, n_bits: int) -> BitArray:
+        """Conditioned output bits."""
+        data = self.random_bytes((n_bits + 7) // 8)
+        from repro.utils.bits import bits_from_bytes
+
+        return bits_from_bytes(data)[:n_bits]
+
+
+class StuckSource(PhotonicTRNG):
+    """Failure-injection variant: the photodiode output is stuck.
+
+    Used by the tests to prove the health battery actually catches a
+    broken source instead of silently emitting conditioned zeros.
+    """
+
+    def raw_bits(self, n_bits: int) -> BitArray:
+        return np.zeros(n_bits, dtype=np.uint8)
+
+
+class BiasedSource(PhotonicTRNG):
+    """Failure-injection variant: heavily biased raw bits."""
+
+    def __init__(self, bias: float = 0.95, **kwargs):
+        super().__init__(**kwargs)
+        self.bias = bias
+
+    def raw_bits(self, n_bits: int) -> BitArray:
+        rng = derive_rng(self.seed, "biased-trng", self._draws)
+        self._draws += 1
+        return (rng.random(n_bits) < self.bias).astype(np.uint8)

@@ -1,0 +1,27 @@
+"""Response-quality improvement: threshold filtering, compensation, masking."""
+
+from repro.quality.compensation import (
+    DarkBitMask,
+    MajorityVoteReader,
+    TemperatureController,
+    TemperatureSensor,
+)
+from repro.quality.filtering import (
+    FilterSweepRow,
+    ThresholdFilter,
+    aliasing_reliability_sweep,
+    collect_population_data,
+    recommend_band,
+)
+
+__all__ = [
+    "DarkBitMask",
+    "MajorityVoteReader",
+    "TemperatureController",
+    "TemperatureSensor",
+    "FilterSweepRow",
+    "ThresholdFilter",
+    "aliasing_reliability_sweep",
+    "collect_population_data",
+    "recommend_band",
+]

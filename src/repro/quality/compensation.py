@@ -1,0 +1,137 @@
+"""Reliability-improvement techniques beyond threshold filtering.
+
+Paper Sec. II-B lists, besides the margin filter: a photonic temperature
+sensor whose reading conditions the response evaluation, hardware
+temperature control, and (implicitly, via the ECC block of Fig. 1)
+redundancy.  This module provides the device-side building blocks:
+
+* :class:`TemperatureSensor` — noisy on-die thermometer;
+* :class:`TemperatureController` — closed-loop setpoint regulation that
+  shrinks the ambient excursion seen by the PUF;
+* :class:`MajorityVoteReader` — repeated-measurement majority voting;
+* :class:`DarkBitMask` — enrollment-time masking of unstable bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.puf.base import NOMINAL_ENV, PUFEnvironment, WeakPUF
+from repro.utils.bits import BitArray, majority_vote
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class TemperatureSensor:
+    """On-die thermometer with Gaussian measurement error."""
+
+    sigma_k: float = 0.25
+    seed: int = 0
+
+    def read(self, env: PUFEnvironment, measurement: int = 0) -> float:
+        """Measured temperature in Celsius."""
+        rng = derive_rng(self.seed, "tsensor", measurement)
+        return env.temperature_c + float(rng.normal(0.0, self.sigma_k))
+
+
+@dataclass(frozen=True)
+class TemperatureController:
+    """Closed-loop thermal regulation toward a setpoint.
+
+    ``rejection`` is the fraction of the ambient excursion removed
+    (0 = free-running, 1 = ideal); ``max_delta_k`` bounds the actuation
+    range, beyond which the residual grows again.
+    """
+
+    setpoint_c: float = 25.0
+    rejection: float = 0.95
+    max_delta_k: float = 40.0
+
+    def regulate(self, env: PUFEnvironment) -> PUFEnvironment:
+        """Environment actually seen by the stabilised die."""
+        excursion = env.temperature_c - self.setpoint_c
+        bounded = float(np.clip(excursion, -self.max_delta_k, self.max_delta_k))
+        residual = bounded * (1.0 - self.rejection) + (excursion - bounded)
+        return env.with_temperature(self.setpoint_c + residual)
+
+
+class MajorityVoteReader:
+    """Read a weak PUF several times and keep the bitwise majority."""
+
+    def __init__(self, puf: WeakPUF, n_votes: int = 5):
+        if n_votes < 1 or n_votes % 2 == 0:
+            raise ValueError("n_votes must be odd and positive")
+        self.puf = puf
+        self.n_votes = n_votes
+
+    def read(
+        self,
+        env: PUFEnvironment = NOMINAL_ENV,
+        base_measurement: Optional[int] = None,
+    ) -> BitArray:
+        """Majority-voted fingerprint."""
+        if base_measurement is None:
+            base_measurement = self.puf._measurement_counter
+            self.puf._measurement_counter += self.n_votes
+        samples = [
+            self.puf.read_all(env, measurement=base_measurement + i)
+            for i in range(self.n_votes)
+        ]
+        return majority_vote(samples)
+
+
+class DarkBitMask:
+    """Enrollment-time unstable-bit masking.
+
+    During enrollment the device is read ``n_measurements`` times; bits
+    that are not perfectly stable are marked *dark* and excluded from all
+    later reads.  This is the classic complement to ECC: it removes the
+    worst bits so a lighter code suffices.
+    """
+
+    def __init__(self, mask: np.ndarray, reference: BitArray):
+        self.mask = np.asarray(mask, dtype=bool)
+        self.reference = np.asarray(reference, dtype=np.uint8)
+        if self.mask.shape != self.reference.shape:
+            raise ValueError("mask and reference must have the same shape")
+
+    @classmethod
+    def enroll(
+        cls,
+        puf: WeakPUF,
+        n_measurements: int = 9,
+        env: PUFEnvironment = NOMINAL_ENV,
+        max_instability: float = 0.0,
+    ) -> "DarkBitMask":
+        """Measure the device repeatedly and mask unstable bits.
+
+        ``max_instability`` is the tolerated flip fraction per bit
+        (0.0 = keep only perfectly stable bits).
+        """
+        if n_measurements < 2:
+            raise ValueError("enrollment needs at least two measurements")
+        samples = np.vstack([
+            puf.read_all(env, measurement=m) for m in range(n_measurements)
+        ])
+        reference = majority_vote(samples)
+        instability = (samples != reference).mean(axis=0)
+        mask = instability <= max_instability
+        return cls(mask, reference)
+
+    @property
+    def n_stable(self) -> int:
+        return int(self.mask.sum())
+
+    def apply(self, bits: Sequence[int]) -> BitArray:
+        """Keep only the stable positions of a full-length read."""
+        arr = np.asarray(bits, dtype=np.uint8)
+        if arr.shape != self.mask.shape:
+            raise ValueError("bit vector length does not match the mask")
+        return arr[self.mask]
+
+    def stable_reference(self) -> BitArray:
+        """The enrollment-time values of the stable bits."""
+        return self.reference[self.mask]

@@ -1,0 +1,169 @@
+"""Threshold-based CRP filtering: the Vinagrero et al. algorithm [13].
+
+Paper Sec. II-B and Fig. 3: the analog margin behind each response bit
+(RO counter difference, or photocurrent amplitude for the photonic PUF)
+trades off three quantities as a selection threshold moves away from the
+decision boundary:
+
+* margins close to the boundary carry maximum entropy (the random process
+  component dominates) but are **unreliable** — noise flips them;
+* margins far from the boundary are **reliable** but increasingly
+  **aliased** — extreme values are dominated by the systematic layout
+  component, which is identical on every die;
+* the usable CRP count shrinks as the selection band narrows.
+
+:func:`aliasing_reliability_sweep` regenerates the Fig. 3 curves;
+:class:`ThresholdFilter` is the enrollment-time selection rule (a band
+``low <= |margin| <= high``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.hamming import binary_entropy
+from repro.puf.base import NOMINAL_ENV, AnalogMarginPUF, PUFEnvironment, PUFFamily
+
+
+@dataclass(frozen=True)
+class ThresholdFilter:
+    """Band-pass selection on the absolute analog margin."""
+
+    low: float
+    high: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.low < 0:
+            raise ValueError("low threshold must be non-negative")
+        if self.high <= self.low:
+            raise ValueError("high threshold must exceed low threshold")
+
+    def select(self, margins: np.ndarray) -> np.ndarray:
+        """Boolean mask of margins inside the band."""
+        magnitude = np.abs(np.asarray(margins, dtype=np.float64))
+        return (magnitude >= self.low) & (magnitude <= self.high)
+
+
+@dataclass(frozen=True)
+class FilterSweepRow:
+    """One threshold point of the Fig. 3 sweep."""
+
+    threshold: float
+    aliasing_entropy: float
+    reliability: float
+    surviving_fraction: float
+
+
+def collect_population_data(
+    family: PUFFamily,
+    n_measurements: int = 5,
+    env: PUFEnvironment = NOMINAL_ENV,
+) -> tuple:
+    """Gather (margins, repeated bits) for a family of margin PUFs.
+
+    Returns
+    -------
+    margins:
+        (n_devices, n_addresses) enrollment-time analog margins.
+    bits:
+        (n_devices, n_measurements, n_addresses) repeated response bits.
+    """
+    margin_rows: List[np.ndarray] = []
+    bit_blocks: List[np.ndarray] = []
+    for device in family.devices():
+        if not isinstance(device, AnalogMarginPUF):
+            raise TypeError("threshold filtering requires AnalogMarginPUF devices")
+        if hasattr(device, "all_margins"):
+            margins = device.all_margins(env, measurement=0)
+        else:
+            margins = np.array([
+                device.margin(device.address_challenge(a), env, measurement=0)
+                for a in range(device.n_addresses)
+            ])
+        margin_rows.append(margins)
+        measurements = []
+        for m in range(n_measurements):
+            if hasattr(device, "all_margins"):
+                measurements.append(
+                    (device.all_margins(env, measurement=m) > 0).astype(np.uint8)
+                )
+            else:
+                measurements.append(device.read_all(env, measurement=m))
+        bit_blocks.append(np.vstack(measurements))
+    return np.vstack(margin_rows), np.stack(bit_blocks)
+
+
+def aliasing_reliability_sweep(
+    margins: np.ndarray,
+    bits: np.ndarray,
+    thresholds: Sequence[float],
+    high: float = math.inf,
+) -> List[FilterSweepRow]:
+    """Regenerate the Fig. 3 curves from population data.
+
+    For each low threshold: select the (device, address) cells whose
+    enrollment margin magnitude is in ``[threshold, high]``, then report
+
+    * mean bit-aliasing Shannon entropy across devices (per address,
+      weighted by how many devices selected it),
+    * mean reliability of the selected cells over the repeated
+      measurements,
+    * the surviving fraction of CRPs.
+    """
+    margins = np.asarray(margins, dtype=np.float64)
+    bits = np.asarray(bits, dtype=np.uint8)
+    n_devices, n_measurements, n_addresses = bits.shape
+    if margins.shape != (n_devices, n_addresses):
+        raise ValueError("margins and bits shapes disagree")
+    reference = bits[:, 0, :]
+    flip_rate = (bits != reference[:, np.newaxis, :]).mean(axis=1)
+    rows = []
+    for threshold in thresholds:
+        mask = ThresholdFilter(float(threshold), high).select(margins)
+        surviving = float(mask.mean())
+        if mask.sum() == 0:
+            rows.append(FilterSweepRow(float(threshold), float("nan"),
+                                       float("nan"), 0.0))
+            continue
+        rel = 1.0 - float(flip_rate[mask].mean())
+        # Aliasing entropy per address over the devices that kept it.
+        entropies = []
+        weights = []
+        for address in range(n_addresses):
+            selected = mask[:, address]
+            count = int(selected.sum())
+            if count < 2:
+                continue
+            p_one = float(reference[selected, address].mean())
+            entropies.append(float(binary_entropy(np.array([p_one]))[0]))
+            weights.append(count)
+        entropy = (float(np.average(entropies, weights=weights))
+                   if entropies else float("nan"))
+        rows.append(FilterSweepRow(float(threshold), entropy, rel, surviving))
+    return rows
+
+
+def recommend_band(
+    rows: Sequence[FilterSweepRow],
+    min_entropy: float = 0.8,
+    min_reliability: float = 0.99,
+) -> Optional[tuple]:
+    """The shaded Fig. 3 region: thresholds meeting both quality floors.
+
+    Returns (low, high) threshold bounds of the acceptable band, or
+    ``None`` when no threshold satisfies both constraints.
+    """
+    acceptable = [
+        row.threshold
+        for row in rows
+        if not math.isnan(row.aliasing_entropy)
+        and row.aliasing_entropy >= min_entropy
+        and row.reliability >= min_reliability
+    ]
+    if not acceptable:
+        return None
+    return (min(acceptable), max(acceptable))

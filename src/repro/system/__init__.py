@@ -1,0 +1,45 @@
+"""System-level model: DES kernel, CPU, memory, PUF peripheral, SoC, channel."""
+
+from repro.system.channel import Channel, ChannelStats
+from repro.system.cpu import ClockCounter, ProcessorModel
+from repro.system.des import Event, EventLog, Simulator
+from repro.system.memory import DeviceMemory, RelocatingCompromisedMemory
+from repro.system.peripheral import (
+    CTRL_START,
+    REG_CHALLENGE_BASE,
+    REG_CTRL,
+    REG_RESPONSE_BASE,
+    REG_STATUS,
+    STATUS_BUSY,
+    STATUS_DONE,
+    STATUS_IDLE,
+    PUFPeripheral,
+)
+from repro.system.power import DEFAULT_PROFILES, PowerProfile, PowerTracker
+from repro.system.soc import DeviceSoC, SoCConfig
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "ClockCounter",
+    "ProcessorModel",
+    "Event",
+    "EventLog",
+    "Simulator",
+    "DeviceMemory",
+    "RelocatingCompromisedMemory",
+    "PUFPeripheral",
+    "CTRL_START",
+    "REG_CHALLENGE_BASE",
+    "REG_CTRL",
+    "REG_RESPONSE_BASE",
+    "REG_STATUS",
+    "STATUS_BUSY",
+    "STATUS_DONE",
+    "STATUS_IDLE",
+    "DEFAULT_PROFILES",
+    "PowerProfile",
+    "PowerTracker",
+    "DeviceSoC",
+    "SoCConfig",
+]

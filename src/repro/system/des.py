@@ -1,0 +1,109 @@
+"""Discrete-event simulation kernel.
+
+The paper's Sec. V calls for system-level modeling of the PUF together
+with CPU, memory and accelerator, with logging for metric collection
+(they propose gem5).  This kernel is the purpose-built equivalent: a
+time-ordered event queue with deterministic tie-breaking, plus the
+gem5-style stats/log facility used by every system component.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback; cancellable."""
+
+    __slots__ = ("callback", "args", "cancelled", "time")
+
+    def __init__(self, callback: Callable, args: tuple, time: float):
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.time = time
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Event-driven simulator with seconds as the time unit."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: List[_QueueEntry] = []
+        self._sequence = 0
+        self.log = EventLog()
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        event = Event(callback, args, self.now + delay)
+        heapq.heappush(self._queue, _QueueEntry(event.time, self._sequence, event))
+        self._sequence += 1
+        return event
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events in time order, optionally up to a horizon."""
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self.now = until
+                return
+            entry = heapq.heappop(self._queue)
+            self.now = entry.time
+            if not entry.event.cancelled:
+                entry.event.callback(*entry.event.args)
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def step(self) -> bool:
+        """Process a single event; returns False when the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            self.now = entry.time
+            if not entry.event.cancelled:
+                entry.event.callback(*entry.event.args)
+                return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.event.cancelled)
+
+
+class EventLog:
+    """gem5-style statistics: counters, accumulators, and a trace."""
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+        self.accumulators: Dict[str, float] = {}
+        self.trace: List[Tuple[float, str, str]] = []
+
+    def count(self, name: str, increment: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + increment
+
+    def accumulate(self, name: str, value: float) -> None:
+        self.accumulators[name] = self.accumulators.get(name, 0.0) + value
+
+    def record(self, time: float, component: str, message: str) -> None:
+        self.trace.append((time, component, message))
+
+    def dump(self) -> str:
+        """Render all statistics as a printable report."""
+        lines = ["=== simulation statistics ==="]
+        for name in sorted(self.counters):
+            lines.append(f"{name:<40} {self.counters[name]}")
+        for name in sorted(self.accumulators):
+            lines.append(f"{name:<40} {self.accumulators[name]:.6g}")
+        return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Device memory model for the attestation protocol.
+
+Byte-addressable firmware memory with per-access latency, chunked reads
+(the units the attestation random walk hashes), and compromise helpers:
+infecting a region, and the relocation attack in which malware copies the
+clean image elsewhere and serves reads from the copy at an extra latency
+cost — exactly the attack temporal attestation constraints are designed
+to expose (paper Sec. III-B, [23]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+class DeviceMemory:
+    """Firmware memory with deterministic contents and access timing."""
+
+    def __init__(
+        self,
+        size: int = 64 * 1024,
+        chunk_size: int = 256,
+        seed: int = 0,
+        read_latency_s_per_chunk: float = 120e-9,
+    ):
+        if size % chunk_size:
+            raise ValueError("size must be a multiple of chunk_size")
+        self.size = size
+        self.chunk_size = chunk_size
+        self.read_latency_s_per_chunk = read_latency_s_per_chunk
+        rng = derive_rng(seed, "memory", "firmware")
+        self._data = bytearray(rng.integers(0, 256, size=size,
+                                            dtype=np.uint8).tobytes())
+
+    @property
+    def n_chunks(self) -> int:
+        return self.size // self.chunk_size
+
+    def read_chunk(self, index: int) -> bytes:
+        """Contents of chunk ``index`` (the honest read path)."""
+        if not 0 <= index < self.n_chunks:
+            raise ValueError(f"chunk {index} out of range")
+        start = index * self.chunk_size
+        return bytes(self._data[start:start + self.chunk_size])
+
+    def chunk_read_time(self) -> float:
+        """Seconds to fetch one chunk."""
+        return self.read_latency_s_per_chunk
+
+    def write(self, address: int, payload: bytes) -> None:
+        """Write bytes (firmware update, or malware infection)."""
+        if address < 0 or address + len(payload) > self.size:
+            raise ValueError("write outside memory")
+        self._data[address:address + len(payload)] = payload
+
+    def image(self) -> bytes:
+        """Full memory image (what the Verifier keeps a copy of)."""
+        return bytes(self._data)
+
+    def infect(self, address: int = 0, length: int = 1024, seed: int = 99) -> None:
+        """Overwrite a region with malware bytes."""
+        rng = derive_rng(seed, "memory", "malware")
+        self.write(address, rng.integers(0, 256, size=length,
+                                         dtype=np.uint8).tobytes())
+
+
+class RelocatingCompromisedMemory(DeviceMemory):
+    """Memory under the relocation attack.
+
+    Malware occupies ``infected_chunks`` but keeps a pristine copy of the
+    original contents.  To serve attestation reads from the copy it must
+    intercept *every* memory access (trap/page-fault style redirection,
+    ``interception_overhead_s`` per chunk, thousands of CPU cycles) and
+    pay an additional ``relocation_penalty_s`` on the redirected chunks.
+    Hashes therefore match the clean image, and only the *timing* gives
+    the attack away — the effect the temporal constraint exploits [23].
+    """
+
+    def __init__(self, clean_image: bytes, chunk_size: int = 256,
+                 infected_chunks: Optional[set] = None,
+                 relocation_penalty_s: float = 20e-6,
+                 interception_overhead_s: float = 5e-6,
+                 read_latency_s_per_chunk: float = 120e-9):
+        if len(clean_image) % chunk_size:
+            raise ValueError("image size must be a multiple of chunk_size")
+        self.size = len(clean_image)
+        self.chunk_size = chunk_size
+        self.read_latency_s_per_chunk = read_latency_s_per_chunk
+        self._data = bytearray(clean_image)  # the copy served to the verifier
+        self.infected_chunks = infected_chunks or set(range(4))
+        self.relocation_penalty_s = relocation_penalty_s
+        self.interception_overhead_s = interception_overhead_s
+        # The real memory holds malware in the infected chunks; reads for
+        # attestation are redirected to the pristine copy.
+
+    def read_chunk(self, index: int) -> bytes:
+        return super().read_chunk(index)
+
+    def chunk_read_time_for(self, index: int) -> float:
+        """Read time including interception and relocation costs."""
+        base = self.read_latency_s_per_chunk + self.interception_overhead_s
+        if index in self.infected_chunks:
+            return base + self.relocation_penalty_s
+        return base

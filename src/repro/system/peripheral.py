@@ -1,0 +1,138 @@
+"""Memory-mapped PUF peripheral.
+
+Sec. V: "The gem5 simulation environment allows one to define a
+peripheral module connected to the RISC-V microprocessor, providing the
+essential infrastructure for the delivery of the programming API."  This
+module is that peripheral: challenge/control/status/response registers, a
+latency model derived from the underlying PUF's physics, and per-access
+statistics in the system event log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.puf.base import NOMINAL_ENV, PUF, PUFEnvironment
+from repro.system.des import EventLog
+from repro.utils.bits import bits_from_bytes, bytes_from_bits
+
+# Register map (word offsets).
+REG_CTRL = 0x00
+REG_STATUS = 0x04
+REG_CHALLENGE_BASE = 0x10
+REG_RESPONSE_BASE = 0x40
+
+STATUS_IDLE = 0
+STATUS_BUSY = 1
+STATUS_DONE = 2
+
+CTRL_START = 1
+
+
+class PUFPeripheral:
+    """MMIO front-end for any :class:`~repro.puf.base.PUF`.
+
+    The programming sequence mirrors a real driver:
+
+    1. write the challenge words at ``REG_CHALLENGE_BASE``;
+    2. write ``CTRL_START`` to ``REG_CTRL``;
+    3. poll ``REG_STATUS`` until ``STATUS_DONE``;
+    4. read the response words at ``REG_RESPONSE_BASE``.
+
+    Timing: evaluation takes the PUF's physical interrogation time plus a
+    fixed ADC/readout overhead; the elapsed time is tracked on the
+    peripheral clock and reported through :attr:`log`.
+    """
+
+    def __init__(
+        self,
+        puf: PUF,
+        log: Optional[EventLog] = None,
+        readout_overhead_s: float = 200e-9,
+        mmio_access_s: float = 20e-9,
+    ):
+        self.puf = puf
+        self.log = log or EventLog()
+        self.readout_overhead_s = readout_overhead_s
+        self.mmio_access_s = mmio_access_s
+        self._challenge_bytes = bytearray(
+            math.ceil(puf.challenge_bits / 8)
+        )
+        self._response_bytes = b""
+        self._status = STATUS_IDLE
+        self.busy_time_s = 0.0
+        self.env = NOMINAL_ENV
+
+    def set_environment(self, env: PUFEnvironment) -> None:
+        """Operating conditions for subsequent evaluations."""
+        self.env = env
+
+    def write_challenge(self, data: bytes) -> float:
+        """Load challenge bytes; returns MMIO time spent."""
+        if len(data) != len(self._challenge_bytes):
+            raise ValueError(
+                f"challenge must be {len(self._challenge_bytes)} bytes"
+            )
+        self._challenge_bytes[:] = data
+        accesses = math.ceil(len(data) / 4)
+        elapsed = accesses * self.mmio_access_s
+        self.log.count("puf.mmio_writes", accesses)
+        return elapsed
+
+    def start(self) -> float:
+        """Trigger an evaluation; returns the time until DONE."""
+        if self._status == STATUS_BUSY:
+            raise RuntimeError("peripheral already busy")
+        self._status = STATUS_BUSY
+        bits = bits_from_bytes(bytes(self._challenge_bytes))[: self.puf.challenge_bits]
+        response = self.puf.evaluate(bits, self.env)
+        padded = np.concatenate([
+            response,
+            np.zeros((-response.size) % 8, dtype=np.uint8),
+        ])
+        self._response_bytes = bytes_from_bits(padded)
+        if hasattr(self.puf, "interrogation_time_s"):
+            physical = self.puf.interrogation_time_s()
+        else:
+            physical = 1e-6  # electronic PUF readout
+        elapsed = physical + self.readout_overhead_s
+        self.busy_time_s += elapsed
+        self._status = STATUS_DONE
+        self.log.count("puf.evaluations")
+        self.log.accumulate("puf.busy_seconds", elapsed)
+        return elapsed
+
+    def status(self) -> int:
+        return self._status
+
+    def read_response(self) -> tuple:
+        """(response bytes, MMIO time spent)."""
+        if self._status != STATUS_DONE:
+            raise RuntimeError("no completed evaluation to read")
+        self._status = STATUS_IDLE
+        accesses = math.ceil(len(self._response_bytes) / 4)
+        self.log.count("puf.mmio_reads", accesses)
+        return self._response_bytes, accesses * self.mmio_access_s
+
+    def evaluate(self, challenge_bits: np.ndarray) -> tuple:
+        """Driver convenience: full sequence, returns (response bits, time).
+
+        ``challenge_bits`` is the raw bit vector; padding to byte
+        boundaries is handled here.
+        """
+        challenge_bits = np.asarray(challenge_bits, dtype=np.uint8)
+        if challenge_bits.size != self.puf.challenge_bits:
+            raise ValueError("challenge width mismatch")
+        padded = np.concatenate([
+            challenge_bits,
+            np.zeros((-challenge_bits.size) % 8, dtype=np.uint8),
+        ])
+        total = self.write_challenge(bytes_from_bits(padded))
+        total += self.start()
+        response_bytes, read_time = self.read_response()
+        total += read_time
+        bits = bits_from_bytes(response_bytes)[: self.puf.response_bits]
+        return bits, total

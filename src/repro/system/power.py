@@ -1,0 +1,78 @@
+"""Power accounting for the heterogeneous SoC.
+
+Sec. V: "throughput, latency, and power consumption measurements are
+essential to understand the practical performance of PUFs in real-world
+applications."  Components register (idle, active) power draws; the
+tracker integrates energy over active intervals and reports per-component
+and total figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Static power figures of one component, in watts."""
+
+    idle_w: float
+    active_w: float
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0 or self.active_w < self.idle_w:
+            raise ValueError("need 0 <= idle <= active power")
+
+
+# Representative edge-device figures.
+DEFAULT_PROFILES = {
+    "cpu": PowerProfile(idle_w=0.010, active_w=0.150),
+    "dram": PowerProfile(idle_w=0.005, active_w=0.080),
+    "puf_pic": PowerProfile(idle_w=0.001, active_w=0.040),  # laser + OM + PDs
+    "puf_asic": PowerProfile(idle_w=0.002, active_w=0.060),  # TIA + ADC
+    "accelerator": PowerProfile(idle_w=0.020, active_w=0.500),
+}
+
+
+class PowerTracker:
+    """Integrates per-component energy over a simulated run."""
+
+    def __init__(self, profiles: Dict[str, PowerProfile] = None):
+        self.profiles = dict(profiles or DEFAULT_PROFILES)
+        self._active_seconds: Dict[str, float] = {name: 0.0 for name in self.profiles}
+        self._total_seconds = 0.0
+
+    def record_active(self, component: str, seconds: float) -> None:
+        """Log ``seconds`` of activity for a component."""
+        if component not in self.profiles:
+            raise KeyError(f"unknown component {component!r}")
+        if seconds < 0:
+            raise ValueError("activity duration must be non-negative")
+        self._active_seconds[component] += seconds
+
+    def close(self, total_seconds: float) -> None:
+        """Set the wall-clock span of the measurement window."""
+        if total_seconds < max(self._active_seconds.values(), default=0.0):
+            raise ValueError("window shorter than recorded activity")
+        self._total_seconds = total_seconds
+
+    def energy_joules(self, component: str) -> float:
+        """Energy consumed by one component over the window."""
+        profile = self.profiles[component]
+        active = self._active_seconds[component]
+        idle = max(self._total_seconds - active, 0.0)
+        return profile.active_w * active + profile.idle_w * idle
+
+    def total_energy_joules(self) -> float:
+        return sum(self.energy_joules(name) for name in self.profiles)
+
+    def average_power_w(self) -> float:
+        """Mean power over the window (requires close())."""
+        if self._total_seconds <= 0:
+            raise RuntimeError("close() must be called with the window length")
+        return self.total_energy_joules() / self._total_seconds
+
+    def report(self) -> Dict[str, float]:
+        """Per-component energy figures in joules."""
+        return {name: self.energy_joules(name) for name in self.profiles}

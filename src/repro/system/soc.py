@@ -1,0 +1,131 @@
+"""Device SoC: CPU + memory + PUF peripherals + accelerator, assembled.
+
+The object the protocols run against: it owns the timing and power
+accounting for every hardware operation a protocol step performs, which
+is what makes the attestation temporal constraint and the service-latency
+benches meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.accelerator.network import NeuromorphicAccelerator
+from repro.puf.base import PUF
+from repro.puf.photonic_strong import PhotonicStrongPUF
+from repro.puf.photonic_weak import PhotonicWeakPUF
+from repro.puf.sram import SRAMPUF
+from repro.system.cpu import ClockCounter, ProcessorModel
+from repro.system.des import EventLog
+from repro.system.memory import DeviceMemory
+from repro.system.peripheral import PUFPeripheral
+from repro.system.power import PowerTracker
+
+
+@dataclass
+class SoCConfig:
+    """Construction parameters of the device SoC."""
+
+    seed: int = 0
+    die_index: int = 0
+    memory_size: int = 64 * 1024
+    memory_chunk: int = 256
+    weak_puf_rings: int = 32
+    strong_challenge_bits: int = 64
+    strong_response_bits: int = 32
+
+
+class DeviceSoC:
+    """The NEUROPULS edge device (Fig. 1's hardware layer)."""
+
+    def __init__(self, config: Optional[SoCConfig] = None):
+        self.config = config or SoCConfig()
+        c = self.config
+        self.log = EventLog()
+        self.cpu = ProcessorModel()
+        self.clock_counter = ClockCounter(self.cpu)
+        self.memory = DeviceMemory(c.memory_size, c.memory_chunk,
+                                   seed=c.seed)
+        self.weak_puf = PhotonicWeakPUF(
+            n_rings=c.weak_puf_rings, seed=c.seed, die_index=c.die_index
+        )
+        self.strong_puf = PhotonicStrongPUF(
+            challenge_bits=c.strong_challenge_bits,
+            response_bits=c.strong_response_bits,
+            seed=c.seed, die_index=c.die_index,
+        )
+        self.asic_puf = SRAMPUF(n_cells=1024, seed=c.seed,
+                                die_index=c.die_index)
+        self.strong_peripheral = PUFPeripheral(self.strong_puf, self.log)
+        self.accelerator = NeuromorphicAccelerator(seed=c.seed)
+        self.power = PowerTracker()
+        self.elapsed_s = 0.0
+
+    def _spend(self, seconds: float, component: str) -> None:
+        self.elapsed_s += seconds
+        if component in self.power.profiles:
+            self.power.record_active(component, seconds)
+
+    # -- hardware operations used by the protocols ------------------------
+
+    def strong_puf_evaluate(self, challenge_bits: np.ndarray) -> tuple:
+        """(response bits, elapsed seconds) through the MMIO peripheral."""
+        response, elapsed = self.strong_peripheral.evaluate(challenge_bits)
+        self._spend(elapsed, "puf_pic")
+        return response, elapsed
+
+    def weak_puf_read(self, measurement: Optional[int] = None) -> tuple:
+        """(fingerprint bits, elapsed seconds) for key generation."""
+        bits = self.weak_puf.read_all(measurement=measurement)
+        # One spectral sweep per address: interrogation + readout.
+        elapsed = self.weak_puf.n_addresses * 2e-6
+        self._spend(elapsed, "puf_pic")
+        return bits, elapsed
+
+    def hash_time(self, n_bytes: int) -> float:
+        elapsed = self.cpu.hash_time(n_bytes)
+        self._spend(elapsed, "cpu")
+        return elapsed
+
+    def mac_time(self, n_bytes: int) -> float:
+        elapsed = self.cpu.mac_time(n_bytes)
+        self._spend(elapsed, "cpu")
+        return elapsed
+
+    def cipher_time(self, n_bytes: int) -> float:
+        elapsed = self.cpu.cipher_time(n_bytes)
+        self._spend(elapsed, "cpu")
+        return elapsed
+
+    def memory_read_time(self, n_chunks: int = 1) -> float:
+        elapsed = self.memory.chunk_read_time() * n_chunks
+        self._spend(elapsed, "dram")
+        return elapsed
+
+    def accelerator_time(self, n_mzis: int, n_inferences: int = 1) -> float:
+        """Optical inference latency: ~1 ns per mesh column plus readout."""
+        elapsed = n_inferences * (50e-9 + 0.1e-9 * n_mzis)
+        self._spend(elapsed, "accelerator")
+        return elapsed
+
+    def measure_clock_count(self, tamper_factor: float = 1.0) -> int:
+        """The CC integrity measurement of Fig. 4."""
+        count = self.clock_counter.measure(tamper_factor)
+        self._spend(self.cpu.seconds(count), "cpu")
+        return count
+
+    def firmware_hash(self) -> tuple:
+        """(SHA-256 of the full firmware, elapsed seconds) — the H of Fig. 4."""
+        import hashlib
+
+        image = self.memory.image()
+        elapsed = self.hash_time(len(image))
+        elapsed += self.memory_read_time(self.memory.n_chunks)
+        return hashlib.sha256(image).digest(), elapsed
+
+    def power_report(self) -> dict:
+        self.power.close(max(self.elapsed_s, 1e-12))
+        return self.power.report()

@@ -1,0 +1,42 @@
+"""Shared utilities: bit manipulation, deterministic RNG streams, serialization."""
+
+from repro.utils.bits import (
+    bits_from_bytes,
+    bits_from_int,
+    bits_to_string,
+    bytes_from_bits,
+    flip_bits,
+    fractional_hamming_distance,
+    hamming_distance,
+    hamming_weight,
+    int_from_bits,
+    majority_vote,
+    random_bits,
+)
+from repro.utils.rng import derive_rng, derive_seed
+from repro.utils.serialization import (
+    decode_fields,
+    encode_fields,
+    from_hex,
+    to_hex,
+)
+
+__all__ = [
+    "bits_from_bytes",
+    "bits_from_int",
+    "bits_to_string",
+    "bytes_from_bits",
+    "flip_bits",
+    "fractional_hamming_distance",
+    "hamming_distance",
+    "hamming_weight",
+    "int_from_bits",
+    "majority_vote",
+    "random_bits",
+    "derive_rng",
+    "derive_seed",
+    "encode_fields",
+    "decode_fields",
+    "to_hex",
+    "from_hex",
+]

@@ -1,0 +1,119 @@
+"""Bit-array helpers.
+
+Throughout the library, bit strings are represented as one-dimensional
+``numpy`` arrays of dtype ``uint8`` holding values 0 or 1.  This module
+provides the conversions and distance measures every other subpackage
+builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+BitArray = np.ndarray
+
+
+def _as_bits(bits: Iterable[int]) -> BitArray:
+    """Coerce an iterable of 0/1 values into a canonical bit array."""
+    arr = np.asarray(bits, dtype=np.uint8).ravel()
+    if arr.size and arr.max(initial=0) > 1:
+        raise ValueError("bit arrays may only contain 0 and 1")
+    return arr
+
+
+def bits_from_int(value: int, width: int) -> BitArray:
+    """Convert a non-negative integer to its ``width``-bit big-endian form.
+
+    >>> bits_from_int(5, 4).tolist()
+    [0, 1, 0, 1]
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def int_from_bits(bits: Iterable[int]) -> int:
+    """Interpret a big-endian bit array as a non-negative integer."""
+    result = 0
+    for bit in _as_bits(bits):
+        result = (result << 1) | int(bit)
+    return result
+
+
+def bits_from_bytes(data: bytes) -> BitArray:
+    """Expand a byte string into its bits, most-significant bit first."""
+    if not data:
+        return np.zeros(0, dtype=np.uint8)
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+
+
+def bytes_from_bits(bits: Iterable[int]) -> bytes:
+    """Pack a bit array (length multiple of 8) into bytes."""
+    arr = _as_bits(bits)
+    if arr.size % 8:
+        raise ValueError("bit length must be a multiple of 8 to pack into bytes")
+    return np.packbits(arr).tobytes()
+
+
+def bits_to_string(bits: Iterable[int]) -> str:
+    """Render a bit array as a compact '0101...' string."""
+    return "".join(str(int(b)) for b in _as_bits(bits))
+
+
+def hamming_weight(bits: Iterable[int]) -> int:
+    """Number of set bits."""
+    return int(_as_bits(bits).sum())
+
+
+def hamming_distance(a: Iterable[int], b: Iterable[int]) -> int:
+    """Number of positions where the two equal-length bit arrays differ."""
+    arr_a, arr_b = _as_bits(a), _as_bits(b)
+    if arr_a.shape != arr_b.shape:
+        raise ValueError("bit arrays must have equal length")
+    return int(np.count_nonzero(arr_a != arr_b))
+
+
+def fractional_hamming_distance(a: Iterable[int], b: Iterable[int]) -> float:
+    """Hamming distance normalised by the bit length (0.0 .. 1.0)."""
+    arr_a = _as_bits(a)
+    if arr_a.size == 0:
+        raise ValueError("cannot compute fractional distance of empty arrays")
+    return hamming_distance(arr_a, b) / arr_a.size
+
+
+def random_bits(rng: np.random.Generator, n: int) -> BitArray:
+    """Draw ``n`` i.i.d. uniform bits from ``rng``."""
+    return rng.integers(0, 2, size=n, dtype=np.uint8)
+
+
+def flip_bits(bits: Iterable[int], positions: Iterable[int]) -> BitArray:
+    """Return a copy of ``bits`` with the given positions inverted."""
+    arr = _as_bits(bits).copy()
+    for pos in positions:
+        arr[pos] ^= 1
+    return arr
+
+
+def majority_vote(samples: Iterable[Iterable[int]]) -> BitArray:
+    """Bitwise majority over an odd number of equal-length bit arrays.
+
+    Ties (possible with an even number of samples) resolve to 1 when the
+    column sum is exactly half — callers wanting unbiased behaviour should
+    pass an odd number of samples.
+    """
+    matrix = np.vstack([_as_bits(s) for s in samples])
+    return (matrix.sum(axis=0) * 2 >= matrix.shape[0]).astype(np.uint8)
+
+
+def xor_bits(a: Iterable[int], b: Iterable[int]) -> BitArray:
+    """Element-wise XOR of two equal-length bit arrays."""
+    arr_a, arr_b = _as_bits(a), _as_bits(b)
+    if arr_a.shape != arr_b.shape:
+        raise ValueError("bit arrays must have equal length")
+    return np.bitwise_xor(arr_a, arr_b)

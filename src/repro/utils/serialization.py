@@ -1,0 +1,52 @@
+"""Canonical message serialization for the security protocols.
+
+Protocol messages are sequences of byte-string fields.  We encode them with
+a 4-byte big-endian length prefix per field so that encoding is injective:
+no two distinct field sequences produce the same wire bytes, which matters
+when the encoded message is MACed.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_fields(fields: Sequence[bytes]) -> bytes:
+    """Length-prefix and concatenate a sequence of byte fields."""
+    parts = []
+    for field in fields:
+        if not isinstance(field, (bytes, bytearray)):
+            raise TypeError(f"fields must be bytes, got {type(field).__name__}")
+        parts.append(_LENGTH.pack(len(field)))
+        parts.append(bytes(field))
+    return b"".join(parts)
+
+
+def decode_fields(data: bytes) -> List[bytes]:
+    """Inverse of :func:`encode_fields`; raises ``ValueError`` on malformed input."""
+    fields = []
+    offset = 0
+    view = memoryview(data)
+    while offset < len(view):
+        if offset + _LENGTH.size > len(view):
+            raise ValueError("truncated length prefix")
+        (length,) = _LENGTH.unpack_from(view, offset)
+        offset += _LENGTH.size
+        if offset + length > len(view):
+            raise ValueError("truncated field body")
+        fields.append(bytes(view[offset:offset + length]))
+        offset += length
+    return fields
+
+
+def to_hex(data: bytes) -> str:
+    """Hex-encode bytes for logging."""
+    return data.hex()
+
+
+def from_hex(text: str) -> bytes:
+    """Decode a hex string produced by :func:`to_hex`."""
+    return bytes.fromhex(text)

@@ -1,0 +1,154 @@
+"""Tests for the MZI mesh decomposition and PCM weight cells."""
+
+import numpy as np
+import pytest
+from scipy.stats import ortho_group
+
+from repro.accelerator.mesh import PhotonicMatrixUnit, reck_compose, reck_decompose
+from repro.accelerator.pcm import PCMCellArray, PCMModel
+
+
+def random_unitary(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))
+    q, r = np.linalg.qr(a)
+    return q * (np.diag(r) / np.abs(np.diag(r)))
+
+
+class TestReck:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_decompose_compose_round_trip(self, n):
+        u = random_unitary(n, n)
+        rotations, diagonal = reck_decompose(u)
+        rebuilt = reck_compose(rotations, diagonal)
+        assert np.allclose(rebuilt, u, atol=1e-9)
+
+    def test_rotation_count(self):
+        u = random_unitary(6, 1)
+        rotations, __ = reck_decompose(u)
+        assert len(rotations) <= 6 * 5 // 2  # N(N-1)/2 MZIs max
+
+    def test_identity_needs_no_rotations(self):
+        rotations, diagonal = reck_decompose(np.eye(4, dtype=complex))
+        assert len(rotations) == 0
+        assert np.allclose(diagonal, 1.0)
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(ValueError):
+            reck_decompose(np.ones((3, 3)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            reck_decompose(np.zeros((2, 3)))
+
+    def test_imperfection_perturbs(self):
+        u = random_unitary(4, 2)
+        rotations, diagonal = reck_decompose(u)
+        perturbed = reck_compose(rotations, diagonal, imperfection_sigma=0.05)
+        assert not np.allclose(perturbed, u, atol=1e-6)
+        # Still close-ish: small phase errors.
+        assert np.linalg.norm(perturbed - u) < 1.0
+
+    def test_real_orthogonal_works(self):
+        q = ortho_group.rvs(5, random_state=3).astype(complex)
+        rotations, diagonal = reck_decompose(q)
+        assert np.allclose(reck_compose(rotations, diagonal), q, atol=1e-9)
+
+
+class TestPhotonicMatrixUnit:
+    def test_exact_multiplication_when_ideal(self):
+        rng = np.random.default_rng(4)
+        w = rng.normal(size=(5, 7))
+        unit = PhotonicMatrixUnit(w, imperfection_sigma=0.0)
+        x = rng.normal(size=7)
+        assert np.allclose(unit.apply(x), w @ x, atol=1e-9)
+
+    def test_tall_matrix(self):
+        rng = np.random.default_rng(5)
+        w = rng.normal(size=(8, 3))
+        unit = PhotonicMatrixUnit(w, imperfection_sigma=0.0)
+        x = rng.normal(size=3)
+        assert np.allclose(unit.apply(x), w @ x, atol=1e-9)
+
+    def test_imperfection_bounded_error(self):
+        rng = np.random.default_rng(6)
+        w = rng.normal(size=(6, 6))
+        unit = PhotonicMatrixUnit(w, imperfection_sigma=0.01, seed=1)
+        x = rng.normal(size=6)
+        exact = w @ x
+        approximate = unit.apply(x)
+        relative = np.linalg.norm(approximate - exact) / np.linalg.norm(exact)
+        assert 0.0 < relative < 0.2
+
+    def test_detection_noise(self):
+        w = np.eye(4)
+        unit = PhotonicMatrixUnit(w, imperfection_sigma=0.0)
+        x = np.ones(4)
+        noisy = unit.apply(x, noise_sigma=0.1, rng=np.random.default_rng(0))
+        assert not np.allclose(noisy, x)
+
+    def test_dimension_check(self):
+        unit = PhotonicMatrixUnit(np.eye(3))
+        with pytest.raises(ValueError):
+            unit.apply(np.ones(4))
+
+    def test_mzi_count_positive(self):
+        unit = PhotonicMatrixUnit(np.random.default_rng(7).normal(size=(4, 4)))
+        assert unit.n_mzis > 0
+
+    def test_vector_validation(self):
+        with pytest.raises(ValueError):
+            PhotonicMatrixUnit(np.ones(3))
+
+
+class TestPCM:
+    def test_level_transmission_range(self):
+        model = PCMModel(n_levels=8)
+        assert model.level_transmission(0) == pytest.approx(model.t_min)
+        assert model.level_transmission(7) == pytest.approx(model.t_max)
+        with pytest.raises(ValueError):
+            model.level_transmission(8)
+
+    def test_program_and_read(self):
+        array = PCMCellArray((4, 4), PCMModel(sigma_program=0.0), seed=1)
+        levels = np.arange(16).reshape(4, 4) % 16
+        array.program_levels(levels)
+        transmissions = array.transmissions()
+        assert transmissions.shape == (4, 4)
+        assert np.all(transmissions >= 0.0)
+        assert np.all(transmissions <= 1.0)
+        # Higher level -> higher transmission (amorphous).
+        flat = transmissions.ravel()
+        assert flat[np.argmax(levels.ravel())] > flat[np.argmin(levels.ravel())]
+
+    def test_write_noise(self):
+        model = PCMModel(sigma_program=0.05)
+        a = PCMCellArray((8, 8), model, seed=2)
+        levels = np.full((8, 8), 8, dtype=np.int64)
+        a.program_levels(levels)
+        values = a.transmissions()
+        assert np.std(values) > 0.0
+
+    def test_drift_reduces_transmission(self):
+        array = PCMCellArray((4, 4), PCMModel(sigma_program=0.0), seed=3)
+        array.program_levels(np.full((4, 4), 10, dtype=np.int64))
+        fresh = array.transmissions(0.0)
+        aged = array.transmissions(3600.0 * 24 * 30)
+        assert np.all(aged <= fresh)
+        assert aged.mean() < fresh.mean()
+
+    def test_quantize_weights(self):
+        array = PCMCellArray((2, 2), PCMModel(n_levels=4))
+        levels = array.quantize_weights(np.array([[0.0, 1.0], [0.34, 0.66]]))
+        assert levels.tolist() == [[0, 3], [1, 2]]
+        with pytest.raises(ValueError):
+            array.quantize_weights(np.array([[1.5, 0.0], [0.0, 0.0]]))
+
+    def test_shape_and_range_validation(self):
+        array = PCMCellArray((2, 2))
+        with pytest.raises(ValueError):
+            array.program_levels(np.zeros((3, 3), dtype=np.int64))
+        with pytest.raises(ValueError):
+            array.program_levels(np.full((2, 2), 99, dtype=np.int64))
+        with pytest.raises(ValueError):
+            array.transmissions(-1.0)

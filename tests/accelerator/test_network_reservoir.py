@@ -1,0 +1,148 @@
+"""Tests for the neuromorphic network and the photonic reservoir."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.network import (
+    LayerConfig,
+    NetworkConfig,
+    NeuromorphicAccelerator,
+    reference_forward,
+)
+from repro.accelerator.pcm import PCMModel
+from repro.accelerator.reservoir import PhotonicReservoir, narma10
+
+
+def small_network(seed=0):
+    rng = np.random.default_rng(seed)
+    return NetworkConfig(layers=[
+        LayerConfig(rng.normal(size=(8, 4)), rng.normal(size=8), "relu"),
+        LayerConfig(rng.normal(size=(3, 8)), rng.normal(size=3), "linear"),
+    ])
+
+
+class TestNetworkConfig:
+    def test_serialize_round_trip(self):
+        config = small_network()
+        rebuilt = NetworkConfig.deserialize(config.serialize())
+        for a, b in zip(config.layers, rebuilt.layers):
+            assert np.allclose(a.weights, b.weights)
+            assert np.allclose(a.bias, b.bias)
+            assert a.activation == b.activation
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig.deserialize(b"\xff\x00 not json")
+
+    def test_dims(self):
+        config = small_network()
+        assert config.input_dim == 4
+        assert config.output_dim == 3
+
+    def test_layer_validation(self):
+        with pytest.raises(ValueError):
+            LayerConfig(np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            LayerConfig(np.zeros((2, 2)), np.zeros(2), "gelu")
+        with pytest.raises(ValueError):
+            LayerConfig(np.zeros(4), np.zeros(4))
+
+
+class TestAccelerator:
+    def test_requires_load(self):
+        accelerator = NeuromorphicAccelerator()
+        with pytest.raises(RuntimeError):
+            accelerator.infer(np.zeros(4))
+
+    def test_near_ideal_matches_reference(self):
+        config = small_network(1)
+        accelerator = NeuromorphicAccelerator(
+            mesh_imperfection_sigma=0.0,
+            pcm_model=PCMModel(n_levels=4096, sigma_program=0.0,
+                               t_min=0.0, t_max=1.0),
+        )
+        accelerator.load(config)
+        x = np.array([0.5, -0.2, 0.8, 0.1])
+        photonic = accelerator.infer(x)
+        digital = reference_forward(config, x)
+        assert np.allclose(photonic, digital, atol=1e-2)
+
+    def test_hardware_effects_add_error(self):
+        config = small_network(2)
+        ideal = NeuromorphicAccelerator(
+            mesh_imperfection_sigma=0.0,
+            pcm_model=PCMModel(n_levels=4096, sigma_program=0.0,
+                               t_min=0.0, t_max=1.0),
+        )
+        rough = NeuromorphicAccelerator(
+            mesh_imperfection_sigma=0.05,
+            pcm_model=PCMModel(n_levels=8, sigma_program=0.05),
+        )
+        ideal.load(config)
+        rough.load(config)
+        x = np.array([0.5, -0.2, 0.8, 0.1])
+        reference = reference_forward(config, x)
+        err_ideal = np.linalg.norm(ideal.infer(x) - reference)
+        err_rough = np.linalg.norm(rough.infer(x) - reference)
+        assert err_rough > err_ideal
+
+    def test_drift_changes_output(self):
+        config = small_network(3)
+        accelerator = NeuromorphicAccelerator(seed=3)
+        accelerator.load(config)
+        x = np.array([0.5, -0.2, 0.8, 0.1])
+        fresh = accelerator.infer(x)
+        accelerator.age(3600.0 * 24 * 365)
+        aged = accelerator.infer(x)
+        assert not np.allclose(fresh, aged)
+
+    def test_age_validation(self):
+        accelerator = NeuromorphicAccelerator()
+        with pytest.raises(ValueError):
+            accelerator.age(-1.0)
+
+    def test_batch_inference(self):
+        accelerator = NeuromorphicAccelerator(seed=4)
+        accelerator.load(small_network(4))
+        outputs = accelerator.infer_batch(np.zeros((5, 4)))
+        assert outputs.shape == (5, 3)
+
+    def test_mzi_count(self):
+        accelerator = NeuromorphicAccelerator(seed=5)
+        accelerator.load(small_network(5))
+        assert accelerator.n_mzis() > 0
+
+
+class TestReservoir:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhotonicReservoir(spectral_radius=1.2)
+        with pytest.raises(ValueError):
+            PhotonicReservoir(leak=0.0)
+
+    def test_echo_state_fading_memory(self):
+        # Two different initial sequences converge once inputs coincide.
+        reservoir = PhotonicReservoir(n_nodes=32, seed=1)
+        rng = np.random.default_rng(0)
+        tail = rng.uniform(0, 0.5, 200)
+        a = np.concatenate([np.zeros(50), tail])
+        b = np.concatenate([np.ones(50), tail])
+        state_a = reservoir.run(a, washout=0)[-1]
+        state_b = reservoir.run(b, washout=0)[-1]
+        assert np.linalg.norm(state_a - state_b) < 1e-3
+
+    def test_learns_narma10(self):
+        u, y = narma10(1200, seed=2)
+        reservoir = PhotonicReservoir(n_nodes=80, seed=2)
+        train_error = reservoir.fit_readout(u[:800], y[:800], washout=50)
+        test_error = reservoir.score(u[800:], y[800:], washout=50)
+        assert train_error < 0.6
+        assert test_error < 0.8  # clearly better than predicting the mean
+
+    def test_predict_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            PhotonicReservoir().predict(np.zeros(100))
+
+    def test_washout_validation(self):
+        with pytest.raises(ValueError):
+            PhotonicReservoir().run(np.zeros(5), washout=10)

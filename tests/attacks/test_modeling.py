@@ -1,0 +1,140 @@
+"""Tests for ML modeling attacks: arbiter must fall, photonic must resist more."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.modeling import (
+    LogisticRegressionAttack,
+    MLPAttack,
+    attack_curve,
+    collect_crps,
+    raw_features,
+)
+from repro.puf import (
+    ArbiterPUF,
+    ChallengeEncryptedPUF,
+    PhotonicStrongPUF,
+    XORArbiterPUF,
+)
+from repro.puf.arbiter import parity_features
+
+
+class TestFeatureMaps:
+    def test_raw_features_shape(self):
+        challenges = np.zeros((5, 16), dtype=np.uint8)
+        assert raw_features(challenges).shape == (5, 17)
+
+    def test_raw_features_signs(self):
+        features = raw_features(np.array([[0, 1]], dtype=np.uint8))[0]
+        assert features.tolist() == [1.0, -1.0, 1.0]
+
+
+class TestLogisticRegression:
+    def test_fit_required_before_predict(self):
+        attack = LogisticRegressionAttack()
+        with pytest.raises(RuntimeError):
+            attack.predict(np.zeros((1, 64), dtype=np.uint8))
+
+    def test_shape_mismatch_rejected(self):
+        attack = LogisticRegressionAttack()
+        with pytest.raises(ValueError):
+            attack.fit(np.zeros((5, 64), dtype=np.uint8), np.zeros(4))
+
+    def test_learns_linear_function(self):
+        # A noise-free arbiter PUF is exactly linear in parity space.
+        puf = ArbiterPUF(n_stages=32, seed=1, sigma_noise=0.0)
+        challenges, responses = collect_crps(puf, 3000, seed=0)
+        attack = LogisticRegressionAttack(parity_features).fit(
+            challenges[:2500], responses[:2500]
+        )
+        assert attack.accuracy(challenges[2500:], responses[2500:]) > 0.95
+
+
+class TestArbiterFalls:
+    def test_accuracy_grows_with_data(self):
+        puf = ArbiterPUF(n_stages=64, seed=2)
+        points = attack_curve(
+            puf, lambda: LogisticRegressionAttack(parity_features),
+            [50, 500, 3000], n_test=800,
+        )
+        accuracies = [p.accuracy for p in points]
+        assert accuracies[-1] > accuracies[0]
+        assert accuracies[-1] > 0.95  # the paper's Sec. IV premise [28]
+
+
+class TestXORArbiterResists:
+    def test_plain_lr_fails_against_xor4(self):
+        puf = XORArbiterPUF(n_stages=64, k=4, seed=3)
+        points = attack_curve(
+            puf, lambda: LogisticRegressionAttack(parity_features),
+            [3000], n_test=600,
+        )
+        assert points[0].accuracy < 0.65
+
+
+class TestPhotonicResists:
+    @pytest.fixture(scope="class")
+    def photonic(self):
+        return PhotonicStrongPUF(challenge_bits=64, response_bits=8, seed=4)
+
+    def test_lr_accuracy_below_arbiter(self, photonic):
+        arbiter = ArbiterPUF(n_stages=64, seed=4)
+        arbiter_acc = attack_curve(
+            arbiter, lambda: LogisticRegressionAttack(parity_features),
+            [2000], n_test=500,
+        )[0].accuracy
+        photonic_acc = attack_curve(
+            photonic, lambda: LogisticRegressionAttack(raw_features),
+            [2000], n_test=400,
+        )[0].accuracy
+        assert photonic_acc < arbiter_acc
+
+    def test_challenge_encryption_pushes_to_chance(self, photonic):
+        protected = ChallengeEncryptedPUF(photonic, key=b"weak-puf-derived-key")
+        accuracy = attack_curve(
+            protected, lambda: LogisticRegressionAttack(raw_features),
+            [1500], n_test=400,
+        )[0].accuracy
+        assert accuracy < 0.62  # indistinguishable from guessing, roughly
+
+
+class TestMLP:
+    def test_learns_linear_target_in_good_features(self):
+        # Implementation sanity: given the parity features (where the
+        # arbiter is linear) the MLP must learn it like the LR does.
+        puf = ArbiterPUF(n_stages=16, seed=5, sigma_noise=0.0)
+        challenges, responses = collect_crps(puf, 4000, seed=1)
+        attack = MLPAttack(parity_features, hidden=24, epochs=150, seed=0).fit(
+            challenges[:3500], responses[:3500]
+        )
+        assert attack.accuracy(challenges[3500:], responses[3500:]) > 0.9
+
+    def test_raw_bits_hide_the_arbiter_structure(self):
+        # The same MLP on raw challenge bits fails: the arbiter is a
+        # high-order parity interaction in that basis.  This is exactly
+        # why feature knowledge matters for modeling attacks.
+        puf = ArbiterPUF(n_stages=16, seed=5, sigma_noise=0.0)
+        challenges, responses = collect_crps(puf, 4000, seed=1)
+        attack = MLPAttack(raw_features, hidden=24, epochs=150, seed=0).fit(
+            challenges[:3500], responses[:3500]
+        )
+        assert attack.accuracy(challenges[3500:], responses[3500:]) < 0.75
+
+    def test_fit_required(self):
+        with pytest.raises(RuntimeError):
+            MLPAttack().predict(np.zeros((1, 8), dtype=np.uint8))
+
+
+class TestCollectCrps:
+    def test_shapes(self):
+        puf = ArbiterPUF(n_stages=32, seed=6)
+        challenges, responses = collect_crps(puf, 100, seed=2)
+        assert challenges.shape == (100, 32)
+        assert responses.shape == (100,)
+
+    def test_deterministic(self):
+        puf = ArbiterPUF(n_stages=32, seed=7)
+        a = collect_crps(puf, 50, seed=3)
+        b = collect_crps(puf, 50, seed=3)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])

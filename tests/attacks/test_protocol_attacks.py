@@ -1,0 +1,73 @@
+"""Tests asserting every protocol attack is defeated."""
+
+import pytest
+
+from repro.attacks.protocol_attacks import (
+    desynchronization_attack,
+    impersonation_attack,
+    naive_infection_attack,
+    relocation_attack,
+    replay_attack,
+    tamper_attack,
+)
+from repro.protocols.attestation import AttestationVerifier
+from repro.protocols.mutual_auth import provision
+from repro.system.soc import DeviceSoC, SoCConfig
+
+
+@pytest.fixture()
+def auth_parties():
+    soc = DeviceSoC(SoCConfig(seed=51, memory_size=8 * 1024))
+    return provision(soc, seed=51)
+
+
+@pytest.fixture()
+def attestation_setup():
+    soc = DeviceSoC(SoCConfig(seed=52, memory_size=8 * 1024))
+    verifier = AttestationVerifier(
+        soc.memory.image(), soc.strong_puf,
+        chunk_size=soc.memory.chunk_size, soc_model=soc,
+    )
+    return soc, verifier
+
+
+class TestMutualAuthAttacks:
+    def test_replay_defeated(self, auth_parties):
+        device, verifier = auth_parties
+        outcome = replay_attack(device, verifier)
+        assert not outcome.succeeded, outcome.detail
+
+    def test_tamper_defeated(self, auth_parties):
+        device, verifier = auth_parties
+        outcome = tamper_attack(device, verifier)
+        assert not outcome.succeeded, outcome.detail
+
+    def test_impersonation_defeated(self, auth_parties):
+        device, verifier = auth_parties
+        outcome = impersonation_attack(
+            verifier, device.soc.strong_puf.challenge_bits
+        )
+        assert not outcome.succeeded, outcome.detail
+
+    def test_desynchronization_recovered(self, auth_parties):
+        device, verifier = auth_parties
+        outcome = desynchronization_attack(device, verifier)
+        assert not outcome.succeeded, outcome.detail
+
+
+class TestAttestationAttacks:
+    def test_naive_infection_defeated(self, attestation_setup):
+        soc, verifier = attestation_setup
+        outcome = naive_infection_attack(soc, verifier)
+        assert not outcome.succeeded, outcome.detail
+
+    def test_relocation_defeated(self, attestation_setup):
+        soc, verifier = attestation_setup
+        outcome = relocation_attack(soc, verifier)
+        assert not outcome.succeeded, outcome.detail
+
+    def test_small_relocation_also_caught(self, attestation_setup):
+        # Even hiding two chunks must exceed the temporal budget.
+        soc, verifier = attestation_setup
+        outcome = relocation_attack(soc, verifier, n_infected_chunks=2)
+        assert not outcome.succeeded, outcome.detail

@@ -1,0 +1,95 @@
+"""Tests for remanence-decay attacks and guessing-cost estimators."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.brute_force import (
+    guessing_cost,
+    online_guess_success_probability,
+    response_entropy_bits,
+)
+from repro.attacks.remanence import (
+    photonic_remanence_attempt,
+    sram_remanence_sweep,
+)
+from repro.puf import PhotonicStrongPUF, SRAMPUF
+
+
+class TestSramRemanence:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        puf = SRAMPUF(n_cells=2048, seed=40)
+        secret = np.random.default_rng(1).integers(0, 2, 2048, dtype=np.uint8)
+        return puf, secret
+
+    def test_short_off_time_leaks_secret(self, setup):
+        puf, secret = setup
+        points = sram_remanence_sweep(puf, secret, [0.001])
+        assert points[0].secret_recovery > 0.95
+
+    def test_long_off_time_erases_secret(self, setup):
+        puf, secret = setup
+        points = sram_remanence_sweep(puf, secret, [30.0])
+        assert points[0].secret_recovery < 0.6
+        assert points[0].fingerprint_contamination > 0.9
+
+    def test_recovery_decays_monotonically(self, setup):
+        puf, secret = setup
+        points = sram_remanence_sweep(puf, secret, [0.01, 0.1, 1.0, 10.0])
+        recoveries = [p.secret_recovery for p in points]
+        assert all(a >= b - 0.02 for a, b in zip(recoveries, recoveries[1:]))
+
+
+class TestPhotonicRemanence:
+    def test_immediate_read_succeeds(self):
+        puf = PhotonicStrongPUF(challenge_bits=32, response_bits=8, seed=41)
+        challenge = np.random.default_rng(2).integers(0, 2, 32, dtype=np.uint8)
+        # Zero delay: attacker reads the live response (they are at the PD).
+        accuracy = photonic_remanence_attempt(puf, challenge, delay_s=0.0)
+        assert accuracy > 0.9
+
+    def test_microsecond_delay_is_chance(self):
+        # The paper's point: after < 100 ns there is nothing left to read.
+        puf = PhotonicStrongPUF(challenge_bits=32, response_bits=8, seed=41)
+        challenge = np.random.default_rng(3).integers(0, 2, 32, dtype=np.uint8)
+        accuracy = photonic_remanence_attempt(puf, challenge, delay_s=1e-6)
+        assert 0.2 < accuracy < 0.8  # statistically chance for 8 bits
+
+    def test_decay_between_extremes(self):
+        puf = PhotonicStrongPUF(challenge_bits=32, response_bits=8, seed=42)
+        challenge = np.random.default_rng(4).integers(0, 2, 32, dtype=np.uint8)
+        live = photonic_remanence_attempt(puf, challenge, 0.0, measurement=0)
+        dead = photonic_remanence_attempt(puf, challenge, 1e-3, measurement=0)
+        assert live >= dead
+
+
+class TestGuessingCost:
+    def test_entropy_of_unbiased_corpus(self):
+        responses = np.random.default_rng(5).integers(0, 2, size=(2000, 64))
+        entropy = response_entropy_bits(responses)
+        assert 60 < entropy <= 64
+
+    def test_biased_corpus_loses_entropy(self):
+        rng = np.random.default_rng(6)
+        biased = (rng.random((2000, 64)) < 0.9).astype(np.uint8)
+        assert response_entropy_bits(biased) < 40
+
+    def test_raw_length_mode(self):
+        responses = np.zeros((10, 64), dtype=np.uint8)
+        assert response_entropy_bits(responses, account_bias=False) == 64.0
+
+    def test_cost_scaling(self):
+        cost = guessing_cost(64.0, guesses_per_second=1e9)
+        assert cost.expected_guesses == pytest.approx(2.0**63)
+        assert cost.seconds_at_rate == pytest.approx(2.0**63 / 1e9)
+
+    def test_negative_entropy_rejected(self):
+        with pytest.raises(ValueError):
+            guessing_cost(-1.0)
+
+    def test_online_guessing_bounded(self):
+        assert online_guess_success_probability(10.0, 0) == 0.0
+        assert online_guess_success_probability(10.0, 1024) == 1.0
+        assert online_guess_success_probability(10.0, 512) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            online_guess_success_probability(10.0, -1)

@@ -1,0 +1,86 @@
+"""Tests for side-channel simulation: electronic leaks, photonic doesn't."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.side_channel import (
+    ELECTRONIC_LEAKAGE,
+    PHOTONIC_LEAKAGE,
+    LeakageModel,
+    compare_technologies,
+    hamming_weight_recovery,
+    leakage_correlation,
+    simulate_traces,
+)
+
+
+@pytest.fixture(scope="module")
+def responses():
+    return np.random.default_rng(0).integers(0, 2, size=(400, 32), dtype=np.uint8)
+
+
+class TestTraceSimulation:
+    def test_shape(self, responses):
+        traces = simulate_traces(responses, ELECTRONIC_LEAKAGE)
+        assert traces.shape == (400, ELECTRONIC_LEAKAGE.n_samples)
+
+    def test_deterministic(self, responses):
+        a = simulate_traces(responses, ELECTRONIC_LEAKAGE, seed=1)
+        b = simulate_traces(responses, ELECTRONIC_LEAKAGE, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_leak_raises_trace_with_weight(self):
+        light = np.zeros((50, 32), dtype=np.uint8)
+        heavy = np.ones((50, 32), dtype=np.uint8)
+        model = LeakageModel(leak_per_bit=1.0, noise_sigma=0.1)
+        mid = model.n_samples // 2
+        light_traces = simulate_traces(light, model, seed=2)
+        heavy_traces = simulate_traces(heavy, model, seed=2)
+        assert heavy_traces[:, mid].mean() > light_traces[:, mid].mean() + 10
+
+
+class TestCorrelation:
+    def test_electronic_strongly_correlated(self, responses):
+        traces = simulate_traces(responses, ELECTRONIC_LEAKAGE)
+        assert leakage_correlation(traces, responses) > 0.8
+
+    def test_photonic_weakly_correlated(self, responses):
+        traces = simulate_traces(responses, PHOTONIC_LEAKAGE)
+        assert leakage_correlation(traces, responses) < 0.3
+
+    def test_constant_weight_gives_zero(self):
+        constant = np.ones((50, 8), dtype=np.uint8)
+        traces = simulate_traces(constant, ELECTRONIC_LEAKAGE)
+        assert leakage_correlation(traces, constant) == 0.0
+
+    def test_count_mismatch_rejected(self, responses):
+        traces = simulate_traces(responses, ELECTRONIC_LEAKAGE)
+        with pytest.raises(ValueError):
+            leakage_correlation(traces[:-1], responses)
+
+
+class TestRecovery:
+    def test_electronic_recovers_weights(self, responses):
+        # Exact integer recovery of a 32-bit Hamming weight is noise
+        # limited (~1 weight unit of estimator noise): well above the
+        # ~14 % chance level but not near 1.
+        traces = simulate_traces(responses, ELECTRONIC_LEAKAGE)
+        accuracy = hamming_weight_recovery(traces, responses)
+        assert accuracy > 0.25
+
+    def test_photonic_recovery_near_chance(self, responses):
+        traces = simulate_traces(responses, PHOTONIC_LEAKAGE)
+        accuracy = hamming_weight_recovery(traces, responses)
+        weights = responses.sum(axis=1)
+        values, counts = np.unique(weights, return_counts=True)
+        chance = counts.max() / weights.size
+        assert accuracy < chance + 0.15
+
+
+class TestComparison:
+    def test_electronic_beats_photonic(self, responses):
+        electronic, photonic = compare_technologies(responses)
+        assert electronic.technology == "electronic"
+        assert photonic.technology == "photonic"
+        assert electronic.correlation > photonic.correlation + 0.4
+        assert electronic.hw_recovery_accuracy > photonic.hw_recovery_accuracy

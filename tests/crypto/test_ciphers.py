@@ -1,0 +1,189 @@
+"""Tests for SPECK, PRESENT, modes, and the Feistel permutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.feistel import FeistelPermutation
+from repro.crypto.modes import (
+    AuthenticatedCipher,
+    AuthenticationError,
+    ctr_decrypt,
+    ctr_encrypt,
+)
+from repro.crypto.present import Present80
+from repro.crypto.speck import Speck64_128
+
+
+class TestSpeck:
+    def test_official_vector(self):
+        # SPECK64/128 test vector from the design paper (Beaulieu et al.):
+        # key = 1b1a1918 13121110 0b0a0908 03020100,
+        # pt = 3b726574 7475432d, ct = 8c6fa548 454e028b.
+        key = bytes.fromhex("1b1a1918131211100b0a090803020100")
+        plaintext = bytes.fromhex("3b7265747475432d")
+        expected = bytes.fromhex("8c6fa548454e028b")
+        assert Speck64_128(key).encrypt_block(plaintext) == expected
+
+    def test_round_trip(self):
+        cipher = Speck64_128(bytes(range(16)))
+        block = b"\x01\x23\x45\x67\x89\xab\xcd\xef"
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_key_length_checked(self):
+        with pytest.raises(ValueError):
+            Speck64_128(b"short")
+
+    def test_block_length_checked(self):
+        cipher = Speck64_128(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"123")
+
+    @given(st.binary(min_size=8, max_size=8), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30)
+    def test_round_trip_property(self, block, key):
+        cipher = Speck64_128(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_avalanche(self):
+        cipher = Speck64_128(bytes(16))
+        a = cipher.encrypt_block(bytes(8))
+        b = cipher.encrypt_block(b"\x01" + bytes(7))
+        diff = np.unpackbits(np.frombuffer(bytes(x ^ y for x, y in zip(a, b)),
+                                           dtype=np.uint8))
+        assert 16 <= diff.sum() <= 48  # roughly half of 64 bits
+
+
+class TestPresent:
+    def test_official_vector_zero(self):
+        # PRESENT-80 vector: all-zero key + all-zero plaintext
+        # -> 5579c1387b228445 (Bogdanov et al., CHES 2007).
+        cipher = Present80(bytes(10))
+        assert cipher.encrypt_block(bytes(8)) == bytes.fromhex("5579c1387b228445")
+
+    def test_official_vector_ones(self):
+        # all-one key, all-zero plaintext -> e72c46c0f5945049.
+        cipher = Present80(b"\xff" * 10)
+        assert cipher.encrypt_block(bytes(8)) == bytes.fromhex("e72c46c0f5945049")
+
+    def test_round_trip(self):
+        cipher = Present80(bytes(range(10)))
+        block = b"\xde\xad\xbe\xef\x01\x02\x03\x04"
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_key_length_checked(self):
+        with pytest.raises(ValueError):
+            Present80(bytes(16))
+
+    @given(st.binary(min_size=8, max_size=8), st.binary(min_size=10, max_size=10))
+    @settings(max_examples=20)
+    def test_round_trip_property(self, block, key):
+        cipher = Present80(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+class TestCTR:
+    def test_round_trip(self):
+        cipher = Speck64_128(bytes(16))
+        message = b"the quick brown fox jumps over the lazy dog"
+        sealed = ctr_encrypt(cipher, b"nonce", message)
+        assert ctr_decrypt(cipher, b"nonce", sealed) == message
+
+    def test_different_nonces_differ(self):
+        cipher = Speck64_128(bytes(16))
+        a = ctr_encrypt(cipher, b"aaaaa", b"same message")
+        b = ctr_encrypt(cipher, b"bbbbb", b"same message")
+        assert a != b
+
+    def test_nonce_length_checked(self):
+        cipher = Speck64_128(bytes(16))
+        with pytest.raises(ValueError):
+            ctr_encrypt(cipher, b"way-too-long-nonce", b"x")
+
+    def test_empty_message(self):
+        cipher = Speck64_128(bytes(16))
+        assert ctr_encrypt(cipher, b"n", b"") == b""
+
+
+class TestAuthenticatedCipher:
+    def test_round_trip(self):
+        aead = AuthenticatedCipher(bytes(range(32)))
+        sealed = aead.encrypt(b"secret payload", nonce=b"n0")
+        assert aead.decrypt(sealed) == b"secret payload"
+
+    def test_tamper_detected(self):
+        aead = AuthenticatedCipher(bytes(range(32)))
+        sealed = bytearray(aead.encrypt(b"secret payload", nonce=b"n0"))
+        sealed[12] ^= 1
+        with pytest.raises(AuthenticationError):
+            aead.decrypt(bytes(sealed))
+
+    def test_wrong_key_rejected(self):
+        sealed = AuthenticatedCipher(bytes(range(32))).encrypt(b"x", nonce=b"n")
+        other = AuthenticatedCipher(bytes(range(1, 33)))
+        with pytest.raises(AuthenticationError):
+            other.decrypt(sealed)
+
+    def test_associated_data_bound(self):
+        aead = AuthenticatedCipher(bytes(range(32)))
+        sealed = aead.encrypt(b"payload", nonce=b"n", associated=b"header-A")
+        with pytest.raises(AuthenticationError):
+            aead.decrypt(sealed, associated=b"header-B")
+
+    def test_key_length_checked(self):
+        with pytest.raises(ValueError):
+            AuthenticatedCipher(bytes(16))
+
+    def test_present_backend(self):
+        aead = AuthenticatedCipher(bytes(range(32)),
+                                   cipher_factory=lambda k: Present80(k[:10]))
+        sealed = aead.encrypt(b"via present", nonce=b"p")
+        assert aead.decrypt(sealed) == b"via present"
+
+
+class TestFeistel:
+    def test_round_trip_even_width(self):
+        perm = FeistelPermutation(b"key", 64)
+        x = np.random.default_rng(0).integers(0, 2, 64, dtype=np.uint8)
+        assert np.array_equal(perm.inverse(perm.forward(x)), x)
+
+    def test_round_trip_odd_width(self):
+        perm = FeistelPermutation(b"key", 33)
+        x = np.random.default_rng(1).integers(0, 2, 33, dtype=np.uint8)
+        assert np.array_equal(perm.inverse(perm.forward(x)), x)
+
+    def test_bijective_on_small_domain(self):
+        perm = FeistelPermutation(b"key", 8)
+        images = set()
+        for value in range(256):
+            bits = np.array([(value >> i) & 1 for i in range(8)], dtype=np.uint8)
+            images.add(tuple(perm.forward(bits)))
+        assert len(images) == 256
+
+    def test_key_dependence(self):
+        x = np.ones(32, dtype=np.uint8)
+        a = FeistelPermutation(b"key-a", 32).forward(x)
+        b = FeistelPermutation(b"key-b", 32).forward(x)
+        assert not np.array_equal(a, b)
+
+    def test_scrambles_structure(self):
+        perm = FeistelPermutation(b"key", 64)
+        a = perm.forward(np.zeros(64, dtype=np.uint8))
+        flipped = np.zeros(64, dtype=np.uint8)
+        flipped[0] = 1
+        b = perm.forward(flipped)
+        assert np.sum(a != b) > 8  # avalanche into many positions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeistelPermutation(b"k", 1)
+        with pytest.raises(ValueError):
+            FeistelPermutation(b"k", 8, n_rounds=1)
+
+    @given(st.integers(2, 80), st.integers(0, 2**32))
+    @settings(max_examples=30)
+    def test_round_trip_property(self, width, seed):
+        perm = FeistelPermutation(b"prop", width)
+        x = np.random.default_rng(seed).integers(0, 2, width, dtype=np.uint8)
+        assert np.array_equal(perm.inverse(perm.forward(x)), x)

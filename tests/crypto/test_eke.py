@@ -1,0 +1,62 @@
+"""Tests for the EKE password-authenticated key exchange."""
+
+import pytest
+
+from repro.crypto.eke import (
+    EkeError,
+    EkeInitiator,
+    EkeResponder,
+    run_handshake,
+)
+
+
+class TestHandshake:
+    def test_matching_passwords_agree(self):
+        initiator, responder = run_handshake(b"crp-secret", b"crp-secret", seed=1)
+        assert initiator.session_key == responder.session_key
+
+    def test_wrong_password_fails(self):
+        with pytest.raises(EkeError):
+            run_handshake(b"crp-secret", b"wrong-guess", seed=2)
+
+    def test_forward_secrecy_fresh_keys(self):
+        # Same password, two sessions: different ephemeral exponents must
+        # give different session keys.
+        a1, _ = run_handshake(b"pw", b"pw", seed=3, session_id=0)
+        a2, _ = run_handshake(b"pw", b"pw", seed=3, session_id=1)
+        assert a1.session_key != a2.session_key
+
+    def test_session_key_unavailable_before_completion(self):
+        initiator = EkeInitiator(b"pw", seed=4)
+        with pytest.raises(EkeError):
+            __ = initiator.session_key
+
+    def test_tampered_message_2_rejected(self):
+        initiator = EkeInitiator(b"pw", seed=5)
+        responder = EkeResponder(b"pw", seed=5)
+        msg2 = bytearray(responder.process_message_1(initiator.message_1()))
+        msg2[20] ^= 1
+        with pytest.raises(EkeError):
+            initiator.process_message_2(bytes(msg2))
+
+    def test_tampered_confirmation_rejected(self):
+        initiator = EkeInitiator(b"pw", seed=6)
+        responder = EkeResponder(b"pw", seed=6)
+        msg2 = responder.process_message_1(initiator.message_1())
+        msg3 = bytearray(initiator.process_message_2(msg2))
+        msg3[0] ^= 1
+        with pytest.raises(EkeError):
+            responder.process_message_3(bytes(msg3))
+
+    def test_out_of_order_confirmation_rejected(self):
+        responder = EkeResponder(b"pw", seed=7)
+        with pytest.raises(EkeError):
+            responder.process_message_3(b"\x00" * 32)
+
+    def test_cost_accounting(self):
+        initiator, responder = run_handshake(b"pw", b"pw", seed=8)
+        # DH costs: 2 modexp each side, 3 messages total.
+        assert initiator.cost.modexp_count == 2
+        assert responder.cost.modexp_count == 2
+        assert initiator.cost.messages + responder.cost.messages == 3
+        assert initiator.cost.bytes_sent > 0

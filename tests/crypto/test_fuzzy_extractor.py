@@ -1,0 +1,166 @@
+"""Tests for the fuzzy extractor and the repetition/Hamming codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.fuzzy_extractor import (
+    ConcatenatedCode,
+    FuzzyExtractor,
+    KeyRecoveryError,
+)
+from repro.crypto.repetition import Hamming74, RepetitionCode
+
+
+class TestRepetition:
+    def test_odd_required(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(4)
+
+    def test_round_trip(self):
+        code = RepetitionCode(5)
+        message = np.array([1, 0, 1, 1], dtype=np.uint8)
+        assert np.array_equal(code.decode(code.encode(message)), message)
+
+    def test_corrects_per_block_errors(self):
+        code = RepetitionCode(5)
+        encoded = code.encode(np.array([1, 0], dtype=np.uint8))
+        encoded[0] ^= 1
+        encoded[1] ^= 1  # two errors in first block, still majority 1
+        encoded[7] ^= 1  # one error in second block
+        assert code.decode(encoded).tolist() == [1, 0]
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(3).decode(np.zeros(4, dtype=np.uint8))
+
+    def test_capability(self):
+        assert RepetitionCode(7).correctable_errors_per_block() == 3
+
+
+class TestHamming74:
+    def test_round_trip(self):
+        code = Hamming74()
+        message = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        assert np.array_equal(code.decode(code.encode(message)), message)
+
+    def test_corrects_single_error_per_block(self):
+        code = Hamming74()
+        message = np.array([1, 0, 1, 1], dtype=np.uint8)
+        encoded = code.encode(message)
+        for position in range(7):
+            corrupted = encoded.copy()
+            corrupted[position] ^= 1
+            assert np.array_equal(code.decode(corrupted), message), position
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            Hamming74().encode(np.zeros(5, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            Hamming74().decode(np.zeros(8, dtype=np.uint8))
+
+    @given(st.integers(0, 15))
+    @settings(max_examples=16)
+    def test_all_messages_round_trip(self, value):
+        code = Hamming74()
+        message = np.array([(value >> i) & 1 for i in range(4)], dtype=np.uint8)
+        assert np.array_equal(code.decode(code.encode(message)), message)
+
+
+class TestConcatenatedCode:
+    def test_dimensions(self):
+        code = ConcatenatedCode(bch_m=5, bch_t=3, repetition=3)
+        assert code.k == 16
+        assert code.n == 31 * 3
+
+    def test_heavy_noise_round_trip(self):
+        code = ConcatenatedCode(bch_m=5, bch_t=3, repetition=3)
+        rng = np.random.default_rng(0)
+        message = rng.integers(0, 2, code.k, dtype=np.uint8)
+        encoded = code.encode(message)
+        # Flip 8% of bits: repetition crushes most, BCH mops up the rest.
+        noise = rng.random(code.n) < 0.08
+        received = encoded ^ noise.astype(np.uint8)
+        assert np.array_equal(code.decode(received), message)
+
+
+class TestFuzzyExtractor:
+    @pytest.fixture(scope="class")
+    def extractor(self):
+        return FuzzyExtractor(ConcatenatedCode(bch_m=5, bch_t=3, repetition=3))
+
+    def test_clean_reproduction(self, extractor):
+        rng = np.random.default_rng(1)
+        response = rng.integers(0, 2, extractor.response_bits, dtype=np.uint8)
+        result = extractor.generate(response)
+        assert extractor.reproduce(response, result.helper) == result.key
+
+    def test_noisy_reproduction(self, extractor):
+        rng = np.random.default_rng(2)
+        response = rng.integers(0, 2, extractor.response_bits, dtype=np.uint8)
+        result = extractor.generate(response)
+        noisy = response ^ (rng.random(response.size) < 0.05).astype(np.uint8)
+        assert extractor.reproduce(noisy, result.helper) == result.key
+
+    def test_excessive_noise_fails_or_differs(self, extractor):
+        rng = np.random.default_rng(3)
+        response = rng.integers(0, 2, extractor.response_bits, dtype=np.uint8)
+        result = extractor.generate(response)
+        garbage = rng.integers(0, 2, response.size, dtype=np.uint8)
+        try:
+            key = extractor.reproduce(garbage, result.helper)
+            assert key != result.key
+        except KeyRecoveryError:
+            pass
+
+    def test_different_responses_different_keys(self, extractor):
+        rng = np.random.default_rng(4)
+        r1 = rng.integers(0, 2, extractor.response_bits, dtype=np.uint8)
+        r2 = rng.integers(0, 2, extractor.response_bits, dtype=np.uint8)
+        k1 = extractor.generate(r1, enrollment_id=0).key
+        k2 = extractor.generate(r2, enrollment_id=1).key
+        assert k1 != k2
+
+    def test_helper_data_is_not_the_key(self, extractor):
+        rng = np.random.default_rng(5)
+        response = rng.integers(0, 2, extractor.response_bits, dtype=np.uint8)
+        result = extractor.generate(response)
+        # Helper data alone (without the response) must not reproduce the key.
+        wrong = np.zeros(extractor.response_bits, dtype=np.uint8)
+        try:
+            key = extractor.reproduce(wrong, result.helper)
+            assert key != result.key
+        except KeyRecoveryError:
+            pass
+
+    def test_length_validation(self, extractor):
+        with pytest.raises(ValueError):
+            extractor.generate(np.zeros(10, dtype=np.uint8))
+
+    def test_key_length_parameter(self):
+        extractor = FuzzyExtractor(
+            ConcatenatedCode(bch_m=5, bch_t=3, repetition=3), key_length=32
+        )
+        rng = np.random.default_rng(6)
+        response = rng.integers(0, 2, extractor.response_bits, dtype=np.uint8)
+        assert len(extractor.generate(response).key) == 32
+
+    def test_error_rate_sweep_monotonic(self, extractor):
+        # Failure probability grows with the injected bit-error rate.
+        rng = np.random.default_rng(7)
+        response = rng.integers(0, 2, extractor.response_bits, dtype=np.uint8)
+        result = extractor.generate(response)
+        failures = []
+        for error_rate in (0.02, 0.25):
+            fail = 0
+            for trial in range(20):
+                noisy = response ^ (rng.random(response.size) < error_rate
+                                    ).astype(np.uint8)
+                try:
+                    if extractor.reproduce(noisy, result.helper) != result.key:
+                        fail += 1
+                except KeyRecoveryError:
+                    fail += 1
+            failures.append(fail)
+        assert failures[0] < failures[1]

@@ -1,0 +1,161 @@
+"""Tests for GF(2^m) arithmetic and BCH codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.bch import BCHCode, BCHDecodingError
+from repro.crypto.gf2 import GF2m
+
+
+class TestGF2m:
+    def test_unsupported_degree(self):
+        with pytest.raises(ValueError):
+            GF2m(1)
+
+    def test_exp_log_inverse_relationship(self):
+        field = GF2m(4)
+        for element in range(1, field.size):
+            assert field.exp[field.log[element]] == element
+
+    def test_mul_by_zero(self):
+        field = GF2m(4)
+        assert field.mul(0, 7) == 0
+        assert field.mul(9, 0) == 0
+
+    def test_mul_identity(self):
+        field = GF2m(5)
+        for element in range(field.size):
+            assert field.mul(element, 1) == element
+
+    def test_inverse(self):
+        field = GF2m(6)
+        for element in range(1, field.size):
+            assert field.mul(element, field.inv(element)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            GF2m(4).inv(0)
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            GF2m(4).mul(16, 1)
+
+    def test_pow(self):
+        field = GF2m(4)
+        assert field.pow(3, 0) == 1
+        assert field.pow(3, 2) == field.mul(3, 3)
+        assert field.mul(field.pow(5, -1), 5) == 1
+
+    def test_alpha_order(self):
+        field = GF2m(5)
+        assert field.alpha_pow(field.size - 1) == 1  # alpha^(2^m - 1) = 1
+
+    @given(st.integers(1, 15), st.integers(1, 15), st.integers(1, 15))
+    @settings(max_examples=40)
+    def test_mul_associative(self, a, b, c):
+        field = GF2m(4)
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=40)
+    def test_distributive(self, a, b, c):
+        field = GF2m(4)
+        assert field.mul(a, b ^ c) == field.mul(a, b) ^ field.mul(a, c)
+
+    def test_poly_eval(self):
+        field = GF2m(4)
+        # p(x) = x^2 + 1 at x = alpha: alpha^2 + 1.
+        assert field.poly_eval([1, 0, 1], field.alpha_pow(1)) == \
+            field.alpha_pow(2) ^ 1
+
+    def test_poly_mod(self):
+        field = GF2m(4)
+        # (x^2 + 1) mod (x + 1) = 0 over GF(2) subfield values.
+        remainder = field.poly_mod([1, 0, 1], [1, 1])
+        assert remainder == [0]
+
+
+class TestBCHParameters:
+    def test_known_code_sizes(self):
+        assert (BCHCode(4, 2).n, BCHCode(4, 2).k) == (15, 7)
+        assert (BCHCode(5, 3).n, BCHCode(5, 3).k) == (31, 16)
+        assert (BCHCode(7, 10).n, BCHCode(7, 10).k) == (127, 64)
+
+    def test_t_validation(self):
+        with pytest.raises(ValueError):
+            BCHCode(4, 0)
+
+    def test_excessive_t_rejected(self):
+        with pytest.raises(ValueError):
+            BCHCode(4, 8)  # no message bits left
+
+
+class TestBCHCoding:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return BCHCode(5, 3)  # (31, 16, t=3)
+
+    def test_encode_length(self, code):
+        codeword = code.encode(np.zeros(code.k, dtype=np.uint8))
+        assert codeword.size == code.n
+
+    def test_message_length_checked(self, code):
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(code.k + 1, dtype=np.uint8))
+
+    def test_clean_codeword_zero_syndromes(self, code):
+        rng = np.random.default_rng(0)
+        codeword = code.encode(rng.integers(0, 2, code.k, dtype=np.uint8))
+        assert not any(code.syndromes(codeword))
+
+    def test_decode_clean(self, code):
+        rng = np.random.default_rng(1)
+        message = rng.integers(0, 2, code.k, dtype=np.uint8)
+        assert np.array_equal(code.decode(code.encode(message)), message)
+
+    @pytest.mark.parametrize("n_errors", [1, 2, 3])
+    def test_corrects_up_to_t_errors(self, code, n_errors):
+        rng = np.random.default_rng(n_errors)
+        for trial in range(5):
+            message = rng.integers(0, 2, code.k, dtype=np.uint8)
+            codeword = code.encode(message)
+            positions = rng.choice(code.n, size=n_errors, replace=False)
+            codeword[positions] ^= 1
+            assert np.array_equal(code.decode(codeword), message)
+
+    def test_systematic_property(self, code):
+        rng = np.random.default_rng(2)
+        message = rng.integers(0, 2, code.k, dtype=np.uint8)
+        codeword = code.encode(message)
+        assert np.array_equal(codeword[: code.k], message)
+
+    def test_too_many_errors_detected_or_miscorrected(self, code):
+        # Beyond t errors: the decoder either raises or returns a wrong
+        # message — it must never crash with an internal error.
+        rng = np.random.default_rng(3)
+        message = rng.integers(0, 2, code.k, dtype=np.uint8)
+        codeword = code.encode(message)
+        positions = rng.choice(code.n, size=code.t + 4, replace=False)
+        codeword[positions] ^= 1
+        try:
+            code.decode(codeword)
+        except BCHDecodingError:
+            pass
+
+    def test_received_length_checked(self, code):
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(code.n - 1, dtype=np.uint8))
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 30), st.integers(0, 30),
+           st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_random_three_error_patterns(self, message_int, p1, p2, p3):
+        code = BCHCode(5, 3)
+        message = np.array([(message_int >> i) & 1 for i in range(16)],
+                           dtype=np.uint8)
+        codeword = code.encode(message)
+        for position in {p1, p2, p3}:
+            codeword[position] ^= 1
+        assert np.array_equal(code.decode(codeword), message)

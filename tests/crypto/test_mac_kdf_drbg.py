@@ -1,0 +1,126 @@
+"""Tests for HMAC, HKDF, and HMAC-DRBG (with RFC test vectors)."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
+from repro.crypto.mac import hmac_sha256, mac, sha256, verify_mac
+
+
+class TestHmac:
+    def test_rfc4231_case_1(self):
+        key = b"\x0b" * 20
+        data = b"Hi There"
+        expected = bytes.fromhex(
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+        assert hmac_sha256(key, data) == expected
+
+    def test_rfc4231_case_2(self):
+        key = b"Jefe"
+        data = b"what do ya want for nothing?"
+        expected = bytes.fromhex(
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+        assert hmac_sha256(key, data) == expected
+
+    def test_rfc4231_long_key(self):
+        # Case 6: key longer than the block size gets hashed first.
+        key = b"\xaa" * 131
+        data = b"Test Using Larger Than Block-Size Key - Hash Key First"
+        expected = bytes.fromhex(
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        )
+        assert hmac_sha256(key, data) == expected
+
+    def test_mac_argument_order(self):
+        # Paper Fig. 4 notation: MAC(data, key).
+        assert mac(b"data", b"key") == hmac_sha256(b"key", b"data")
+
+    def test_verify_accepts_valid(self):
+        tag = mac(b"message", b"key")
+        assert verify_mac(b"message", b"key", tag)
+
+    def test_verify_rejects_tampered(self):
+        tag = bytearray(mac(b"message", b"key"))
+        tag[0] ^= 1
+        assert not verify_mac(b"message", b"key", bytes(tag))
+
+    def test_verify_rejects_wrong_length(self):
+        assert not verify_mac(b"message", b"key", b"short")
+
+    def test_sha256_known(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+
+class TestHkdf:
+    def test_rfc5869_case_1(self):
+        ikm = b"\x0b" * 22
+        salt = bytes(range(13))
+        info = bytes(range(0xF0, 0xFA))
+        prk = hkdf_extract(salt, ikm)
+        assert prk == bytes.fromhex(
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_one_shot_matches_two_step(self):
+        assert hkdf(b"ikm", 32, salt=b"salt", info=b"info") == \
+            hkdf_expand(hkdf_extract(b"salt", b"ikm"), b"info", 32)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(b"\x00" * 32, b"", 255 * 32 + 1)
+
+    def test_different_info_different_keys(self):
+        assert hkdf(b"ikm", info=b"a") != hkdf(b"ikm", info=b"b")
+
+
+class TestDrbg:
+    def test_deterministic(self):
+        a = HmacDrbg(b"seed").generate(64)
+        b = HmacDrbg(b"seed").generate(64)
+        assert a == b
+
+    def test_seed_sensitivity(self):
+        assert HmacDrbg(b"seed-a").generate(32) != HmacDrbg(b"seed-b").generate(32)
+
+    def test_personalization(self):
+        assert HmacDrbg(b"s", b"p1").generate(32) != HmacDrbg(b"s", b"p2").generate(32)
+
+    def test_stream_advances(self):
+        drbg = HmacDrbg(b"seed")
+        assert drbg.generate(32) != drbg.generate(32)
+
+    def test_reseed_changes_stream(self):
+        a = HmacDrbg(b"seed")
+        b = HmacDrbg(b"seed")
+        a.reseed(b"entropy")
+        assert a.generate(32) != b.generate(32)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(b"s").generate(-1)
+
+    def test_randint_below_range(self):
+        drbg = HmacDrbg(b"seed")
+        values = [drbg.randint_below(10) for _ in range(200)]
+        assert all(0 <= v < 10 for v in values)
+        assert len(set(values)) == 10  # all residues hit
+
+    def test_randint_bound_validation(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(b"s").randint_below(0)
+
+    def test_output_statistics(self):
+        import numpy as np
+
+        stream = np.frombuffer(HmacDrbg(b"stat").generate(16384), dtype=np.uint8)
+        bits = np.unpackbits(stream)
+        assert abs(bits.mean() - 0.5) < 0.02

@@ -1,0 +1,81 @@
+"""Tests for entropy estimators."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.entropy import (
+    autocorrelation,
+    collision_entropy_bits,
+    markov_min_entropy,
+    min_entropy_bits,
+    shannon_entropy_bits,
+)
+
+
+class TestShannon:
+    def test_balanced_is_one(self):
+        assert shannon_entropy_bits([0, 1] * 100) == pytest.approx(1.0)
+
+    def test_constant_is_zero(self):
+        assert shannon_entropy_bits([1] * 50) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            shannon_entropy_bits([])
+
+
+class TestMinEntropy:
+    def test_balanced(self):
+        assert min_entropy_bits([0, 1] * 100) == pytest.approx(1.0)
+
+    def test_biased(self):
+        bits = [1] * 75 + [0] * 25
+        assert min_entropy_bits(bits) == pytest.approx(-np.log2(0.75))
+
+    def test_le_shannon(self):
+        rng = np.random.default_rng(0)
+        bits = (rng.random(1000) < 0.7).astype(int)
+        assert min_entropy_bits(bits) <= shannon_entropy_bits(bits) + 1e-12
+
+
+class TestMarkov:
+    def test_alternating_sequence_penalised(self):
+        # 0101... is balanced marginally but fully predictable.
+        bits = [0, 1] * 500
+        assert markov_min_entropy(bits) < 0.1
+
+    def test_random_sequence_near_one(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 20_000)
+        assert markov_min_entropy(bits) > 0.9
+
+    def test_needs_two_bits(self):
+        with pytest.raises(ValueError):
+            markov_min_entropy([1])
+
+
+class TestAutocorrelation:
+    def test_random_is_small(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 10_000)
+        assert np.max(np.abs(autocorrelation(bits, 8))) < 0.05
+
+    def test_alternating_is_negative_at_lag_one(self):
+        acf = autocorrelation([0, 1] * 500, 2)
+        assert acf[0] < -0.9
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation([0, 1, 0], max_lag=5)
+
+    def test_constant_sequence_returns_zeros(self):
+        assert np.all(autocorrelation([1] * 100, 4) == 0)
+
+
+class TestCollision:
+    def test_balanced(self):
+        assert collision_entropy_bits([0, 1] * 10) == pytest.approx(1.0)
+
+    def test_le_shannon(self):
+        bits = [1] * 70 + [0] * 30
+        assert collision_entropy_bits(bits) <= shannon_entropy_bits(bits) + 1e-12

@@ -1,0 +1,100 @@
+"""Tests for population-level PUF quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.hamming import (
+    binary_entropy,
+    bit_aliasing,
+    bit_aliasing_entropy,
+    inter_device_distances,
+    intra_device_distances,
+    quality_report,
+    reliability,
+    uniformity,
+    uniqueness,
+)
+
+
+class TestDistances:
+    def test_intra_identical(self):
+        m = [[0, 1, 1], [0, 1, 1], [0, 1, 1]]
+        assert intra_device_distances(m) == [0.0, 0.0]
+
+    def test_intra_needs_two(self):
+        with pytest.raises(ValueError):
+            intra_device_distances([[0, 1]])
+
+    def test_inter_pair_count(self):
+        responses = np.random.default_rng(0).integers(0, 2, size=(5, 64))
+        assert len(inter_device_distances(responses)) == 10
+
+    def test_reliability_ideal(self):
+        assert reliability([[1, 0], [1, 0]]) == 1.0
+
+    def test_reliability_with_flips(self):
+        # One of two bits flips in the second measurement.
+        assert reliability([[1, 0], [1, 1]]) == 0.5
+
+    def test_uniqueness_opposite(self):
+        assert uniqueness([[0, 0], [1, 1]]) == 1.0
+
+    def test_uniqueness_random_near_half(self):
+        responses = np.random.default_rng(1).integers(0, 2, size=(20, 512))
+        assert 0.45 < uniqueness(responses) < 0.55
+
+
+class TestUniformity:
+    def test_balanced(self):
+        assert uniformity([0, 1, 0, 1]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            uniformity([])
+
+
+class TestAliasing:
+    def test_probabilities(self):
+        responses = [[1, 0, 1], [1, 1, 0]]
+        assert bit_aliasing(responses).tolist() == [1.0, 0.5, 0.5]
+
+    def test_entropy_extremes(self):
+        responses = [[1, 0, 1], [1, 1, 0]]
+        entropy = bit_aliasing_entropy(responses)
+        assert entropy[0] == 0.0  # fully aliased
+        assert entropy[1] == 1.0  # unbiased
+
+    def test_needs_two_devices(self):
+        with pytest.raises(ValueError):
+            bit_aliasing([[1, 0]])
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_binary_entropy_bounds(self, p):
+        h = float(binary_entropy(np.array([p]))[0])
+        assert 0.0 <= h <= 1.0
+
+    def test_binary_entropy_symmetry(self):
+        assert binary_entropy(np.array([0.3]))[0] == pytest.approx(
+            binary_entropy(np.array([0.7]))[0]
+        )
+
+    def test_binary_entropy_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            binary_entropy(np.array([1.5]))
+
+
+class TestQualityReport:
+    def test_report_fields(self):
+        rng = np.random.default_rng(2)
+        refs = rng.integers(0, 2, size=(4, 128), dtype=np.uint8)
+        repeated = [np.vstack([r, r, r]) for r in refs]  # perfectly stable
+        report = quality_report(refs, repeated)
+        assert report.n_devices == 4
+        assert report.n_bits == 128
+        assert report.reliability_mean == 1.0
+        assert 0.3 < report.uniqueness_mean < 0.7
+        assert len(report.as_rows()) == 4
+        assert len(report.inter_distances) == 6

@@ -1,0 +1,181 @@
+"""Tests for passive photonic component models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics.components import (
+    DirectionalCoupler,
+    MachZehnderInterferometer,
+    MicroringAddDrop,
+    MicroringAllPass,
+    PhaseShifter,
+    Waveguide,
+    effective_index,
+)
+from repro.photonics.constants import (
+    DEFAULT_N_EFF,
+    DEFAULT_WAVELENGTH,
+    loss_db_per_cm_to_alpha,
+)
+from repro.photonics.variation import OpticalEnvironment, VariationModel
+
+
+class TestEffectiveIndex:
+    def test_reference_point(self):
+        assert effective_index(DEFAULT_WAVELENGTH) == pytest.approx(DEFAULT_N_EFF)
+
+    def test_dispersion_sign(self):
+        # n_g > n_eff, so n_eff decreases with increasing wavelength.
+        assert effective_index(1.56e-6) < effective_index(1.54e-6)
+
+    def test_thermal_shift_positive(self):
+        hot = effective_index(DEFAULT_WAVELENGTH, delta_t=10.0)
+        assert hot > DEFAULT_N_EFF
+
+
+class TestWaveguide:
+    def test_loss_reduces_amplitude(self):
+        wg = Waveguide(length=1e-2)  # 1 cm at 2 dB/cm
+        power_db = 20 * math.log10(abs(wg.transmission()))
+        assert power_db == pytest.approx(-2.0, abs=0.01)
+
+    def test_zero_length_identity(self):
+        wg = Waveguide(length=0.0)
+        assert wg.transmission() == pytest.approx(1.0)
+
+    def test_phase_accumulates_with_length(self):
+        short = Waveguide(length=1e-6).transmission()
+        # A length change of lambda/(2 n_eff) flips the field sign.
+        half_wave = DEFAULT_WAVELENGTH / (2 * DEFAULT_N_EFF)
+        longer = Waveguide(length=1e-6 + half_wave).transmission()
+        assert np.angle(longer / short) == pytest.approx(math.pi, abs=1e-2) or \
+            np.angle(longer / short) == pytest.approx(-math.pi, abs=1e-2)
+
+    def test_group_delay(self):
+        wg = Waveguide(length=1e-3)
+        # 1 mm at n_g = 4.2 -> ~14 ps
+        assert wg.group_delay() == pytest.approx(14e-12, rel=0.05)
+
+    def test_alpha_conversion(self):
+        # 10 dB/cm over 1 cm must attenuate power by 10x.
+        alpha = loss_db_per_cm_to_alpha(10.0)
+        assert math.exp(-alpha * 0.01) == pytest.approx(0.1, rel=1e-6)
+
+
+class TestDirectionalCoupler:
+    def test_unitary(self):
+        m = DirectionalCoupler(0.3).matrix()
+        assert np.allclose(m @ m.conj().T, np.eye(2), atol=1e-12)
+
+    def test_full_coupling_crosses(self):
+        m = DirectionalCoupler(1.0 - 1e-9).matrix()
+        out = m @ np.array([1.0, 0.0])
+        assert abs(out[1]) ** 2 == pytest.approx(1.0, abs=1e-4)
+
+    def test_no_coupling_passes(self):
+        m = DirectionalCoupler(1e-9).matrix()
+        out = m @ np.array([1.0, 0.0])
+        assert abs(out[0]) ** 2 == pytest.approx(1.0, abs=1e-4)
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=25)
+    def test_energy_conservation(self, kappa):
+        m = DirectionalCoupler(kappa).matrix()
+        out = m @ np.array([0.6, 0.8j])
+        assert np.sum(np.abs(out) ** 2) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestPhaseShifter:
+    def test_nominal_phase(self):
+        ps = PhaseShifter(math.pi / 2)
+        assert np.angle(ps.factor()) == pytest.approx(-math.pi / 2)
+
+    def test_thermal_drift(self):
+        ps = PhaseShifter(0.0)
+        hot = OpticalEnvironment(temperature_c=35.0)
+        assert ps.shift(env=hot) != pytest.approx(ps.shift())
+
+
+class TestMZI:
+    def test_unitary_without_variation(self):
+        m = MachZehnderInterferometer(theta=1.0).matrix()
+        assert np.allclose(m @ m.conj().T, np.eye(2), atol=1e-10)
+
+    def test_bar_and_cross_states(self):
+        # theta = pi gives the bar state, theta = 0 the cross state
+        # (50/50 couplers, no variation).
+        cross = MachZehnderInterferometer(theta=0.0).matrix() @ np.array([1.0, 0.0])
+        bar = MachZehnderInterferometer(theta=math.pi).matrix() @ np.array([1.0, 0.0])
+        assert abs(cross[1]) ** 2 == pytest.approx(1.0, abs=1e-9)
+        assert abs(bar[0]) ** 2 == pytest.approx(1.0, abs=1e-9)
+
+    def test_variation_changes_response(self):
+        model = VariationModel()
+        die = model.sample_die(1, 0)
+        nominal = MachZehnderInterferometer(theta=1.0).matrix()
+        varied = MachZehnderInterferometer(theta=1.0, variation=die).matrix()
+        assert not np.allclose(nominal, varied)
+
+
+class TestMicroringAllPass:
+    def test_lossless_is_all_pass(self):
+        ring = MicroringAllPass(loss_db_per_cm=0.0)
+        t = ring.through_transmission(1.5502e-6)
+        assert abs(t) == pytest.approx(1.0, abs=1e-9)
+
+    def test_resonance_dip_with_loss(self):
+        # Near-critical coupling: kappa ~ 1 - a^2 with a the round-trip
+        # amplitude at 20 dB/cm, giving a deep resonance dip.
+        ring = MicroringAllPass(radius=10e-6, kappa=0.03, loss_db_per_cm=20.0)
+        # Span a full FSR (~9.1 nm) so exactly one resonance is inside.
+        wavelengths = np.linspace(1.546e-6, 1.556e-6, 4001)
+        trans = [abs(ring.through_transmission(w)) ** 2 for w in wavelengths]
+        assert min(trans) < 0.5  # a clear resonance dip
+        assert max(trans) > 0.9  # off-resonance nearly transparent
+
+    def test_fsr_formula(self):
+        ring = MicroringAllPass(radius=10e-6)
+        fsr = ring.free_spectral_range()
+        expected = DEFAULT_WAVELENGTH**2 / (ring.ng * ring.circumference)
+        assert fsr == pytest.approx(expected)
+
+
+class TestMicroringAddDrop:
+    def test_energy_conservation_lossless(self):
+        ring = MicroringAddDrop(loss_db_per_cm=0.0)
+        for wl in np.linspace(1.5495e-6, 1.5505e-6, 50):
+            t, d = ring.responses(wl)
+            assert abs(t) ** 2 + abs(d) ** 2 == pytest.approx(1.0, abs=1e-9)
+
+    def test_drop_peak_on_resonance(self):
+        ring = MicroringAddDrop(radius=10e-6, kappa_in=0.1, kappa_drop=0.1,
+                                loss_db_per_cm=1.0)
+        resonances = ring.resonance_wavelengths()
+        assert resonances, "expected at least one resonance in the span"
+        on_res = ring.drop_power(resonances[0])
+        off_res = ring.drop_power(resonances[0] + ring.free_spectral_range() / 2
+                                  if hasattr(ring, "free_spectral_range")
+                                  else resonances[0] + 2e-9)
+        assert on_res > 0.5
+        assert on_res > 5 * off_res
+
+    def test_temperature_shifts_resonance(self):
+        ring = MicroringAddDrop(radius=10e-6, kappa_in=0.1, kappa_drop=0.1)
+        res = ring.resonance_wavelengths()[0]
+        cold = ring.drop_power(res)
+        hot = ring.drop_power(res, OpticalEnvironment(temperature_c=45.0))
+        # 20 K shifts the resonance by ~ 20 * 1.86e-4 / ng * lambda >> linewidth
+        assert hot < cold
+
+    def test_variation_shifts_resonance(self):
+        model = VariationModel()
+        a = MicroringAddDrop(label="r", variation=model.sample_die(5, 0))
+        b = MicroringAddDrop(label="r", variation=model.sample_die(5, 1))
+        res_a = a.resonance_wavelengths()
+        res_b = b.resonance_wavelengths()
+        assert res_a and res_b
+        assert abs(res_a[0] - res_b[0]) > 1e-12

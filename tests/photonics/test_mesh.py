@@ -1,0 +1,138 @@
+"""Tests for the passive scrambling architecture (mesh + ring memory)."""
+
+import numpy as np
+import pytest
+
+from repro.photonics.mesh import DiscreteTimeRing, MixingLayer, PassiveScrambler
+from repro.photonics.variation import OpticalEnvironment, VariationModel
+
+
+class TestMixingLayer:
+    def test_nearly_unitary(self):
+        layer = MixingLayer(n_channels=4, layer_index=0, design_seed=3,
+                            insertion_loss_db=0.0)
+        m = layer.matrix()
+        assert np.allclose(m @ m.conj().T, np.eye(4), atol=1e-9)
+
+    def test_insertion_loss(self):
+        lossy = MixingLayer(4, 0, 3, insertion_loss_db=3.0).matrix()
+        out = lossy @ np.array([1, 0, 0, 0], dtype=complex)
+        assert np.sum(np.abs(out) ** 2) == pytest.approx(0.5, rel=0.01)
+
+    def test_alternating_pairs(self):
+        even = MixingLayer(5, 0, 3)._pairs()
+        odd = MixingLayer(5, 1, 3)._pairs()
+        assert even == [(0, 1), (2, 3)]
+        assert odd == [(1, 2), (3, 4)]
+
+    def test_die_variation_changes_matrix(self):
+        model = VariationModel()
+        m0 = MixingLayer(4, 0, 3, variation=model.sample_die(7, 0)).matrix()
+        m1 = MixingLayer(4, 0, 3, variation=model.sample_die(7, 1)).matrix()
+        assert not np.allclose(m0, m1)
+
+
+class TestDiscreteTimeRing:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteTimeRing(tau=1.5)
+        with pytest.raises(ValueError):
+            DiscreteTimeRing(round_trip_amplitude=0.0)
+        with pytest.raises(ValueError):
+            DiscreteTimeRing(delay_samples=0)
+
+    def test_all_pass_energy_conservation(self):
+        # Lossless all-pass: total output energy equals input energy
+        # (over a long enough window for the ring to empty).
+        ring = DiscreteTimeRing(tau=0.8, round_trip_amplitude=1.0, delay_samples=2)
+        x = np.zeros(4000, dtype=complex)
+        x[:16] = 1.0
+        y = ring.filter(x)
+        assert np.sum(np.abs(y) ** 2) == pytest.approx(np.sum(np.abs(x) ** 2), rel=1e-6)
+
+    def test_memory_mixes_past_into_present(self):
+        # Output at sample n depends on inputs at n - D, n - 2D, ...
+        ring = DiscreteTimeRing(tau=0.8, round_trip_amplitude=0.95, delay_samples=2)
+        impulse = ring.impulse_response(32)
+        assert abs(impulse[0]) > 0
+        assert abs(impulse[2]) > 0  # first echo
+        assert abs(impulse[4]) > 0  # second echo
+        assert abs(impulse[1]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_memory_decays(self):
+        ring = DiscreteTimeRing(tau=0.8, round_trip_amplitude=0.9, delay_samples=2)
+        impulse = np.abs(ring.impulse_response(64))
+        assert impulse[2] > impulse[62]
+
+    def test_memory_decay_samples_finite(self):
+        ring = DiscreteTimeRing(tau=0.85, round_trip_amplitude=0.96)
+        samples = ring.memory_decay_samples()
+        assert 0 < samples < 10_000
+
+    def test_linearity(self):
+        ring = DiscreteTimeRing()
+        x = np.random.default_rng(0).standard_normal(64) + 0j
+        assert np.allclose(ring.filter(2 * x), 2 * ring.filter(x))
+
+
+class TestPassiveScrambler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PassiveScrambler(n_channels=1)
+        with pytest.raises(ValueError):
+            PassiveScrambler(n_stages=0)
+
+    def test_launch_shape(self):
+        scr = PassiveScrambler(n_channels=8)
+        fields = scr.launch(np.ones(32, dtype=complex))
+        assert fields.shape == (8, 32)
+        assert np.all(fields[1:] == 0)
+
+    def test_propagate_spreads_energy(self):
+        # Each Clements layer spreads light by one channel, so reaching all
+        # 8 channels from input 0 needs at least ~7 stages.
+        scr = PassiveScrambler(n_channels=8, n_stages=8, design_seed=11)
+        out = scr.propagate(scr.launch(np.ones(64, dtype=complex)))
+        energies = np.sum(np.abs(out) ** 2, axis=1)
+        # Light injected on channel 0 must reach most channels.
+        assert np.count_nonzero(energies > 1e-3 * energies.max()) >= 6
+
+    def test_different_dies_differ(self):
+        model = VariationModel()
+        stream = np.ones(64, dtype=complex)
+        out0 = PassiveScrambler(8, 3, 11, model.sample_die(2, 0)).propagate(
+            PassiveScrambler(8, 3, 11).launch(stream))
+        out1 = PassiveScrambler(8, 3, 11, model.sample_die(2, 1)).propagate(
+            PassiveScrambler(8, 3, 11).launch(stream))
+        assert not np.allclose(out0, out1)
+
+    def test_same_die_reproducible(self):
+        model = VariationModel()
+        die = model.sample_die(2, 0)
+        stream = np.ones(64, dtype=complex)
+        a = PassiveScrambler(8, 3, 11, die).propagate(PassiveScrambler(8, 3, 11).launch(stream))
+        b = PassiveScrambler(8, 3, 11, die).propagate(PassiveScrambler(8, 3, 11).launch(stream))
+        assert np.allclose(a, b)
+
+    def test_memory_ablation_changes_output(self):
+        stream = np.zeros(64, dtype=complex)
+        stream[::8] = 1.0
+        with_mem = PassiveScrambler(4, 2, 5, with_memory=True).propagate(
+            PassiveScrambler(4, 2, 5).launch(stream))
+        without = PassiveScrambler(4, 2, 5, with_memory=False).propagate(
+            PassiveScrambler(4, 2, 5).launch(stream))
+        assert not np.allclose(with_mem, without)
+
+    def test_static_matrix_matches_memoryless_propagation(self):
+        scr = PassiveScrambler(4, 2, 5, with_memory=False)
+        stream = np.ones(16, dtype=complex)
+        direct = scr.propagate(scr.launch(stream))
+        via_matrix = scr.static_matrix() @ scr.launch(stream)
+        assert np.allclose(direct, via_matrix)
+
+    def test_temperature_sensitivity(self):
+        scr = PassiveScrambler(4, 2, 5, VariationModel().sample_die(1, 0))
+        stream = np.ones(32, dtype=complex)
+        cold = scr.propagate(scr.launch(stream))
+        hot = scr.propagate(scr.launch(stream), env=OpticalEnvironment(temperature_c=45.0))
+        assert not np.allclose(cold, hot)

@@ -1,0 +1,114 @@
+"""Tests for PUF-based software attestation (Sec. III-B)."""
+
+import pytest
+
+from repro.protocols.attestation import (
+    AttestationDevice,
+    AttestationVerifier,
+    _walk_order,
+)
+from repro.system.memory import RelocatingCompromisedMemory
+from repro.system.soc import DeviceSoC, SoCConfig
+import numpy as np
+
+
+@pytest.fixture()
+def setup():
+    soc = DeviceSoC(SoCConfig(seed=21, memory_size=8 * 1024))
+    verifier = AttestationVerifier(
+        soc.memory.image(), soc.strong_puf,
+        chunk_size=soc.memory.chunk_size, soc_model=soc,
+    )
+    return soc, verifier
+
+
+class TestWalk:
+    def test_walk_is_permutation(self):
+        order = _walk_order(np.ones(32, dtype=np.uint8), 123, 64)
+        assert sorted(order) == list(range(64))
+
+    def test_walk_depends_on_timestamp(self):
+        r = np.ones(32, dtype=np.uint8)
+        assert _walk_order(r, 1, 64) != _walk_order(r, 2, 64)
+
+    def test_walk_depends_on_response(self):
+        a = _walk_order(np.zeros(32, dtype=np.uint8), 1, 64)
+        b = _walk_order(np.ones(32, dtype=np.uint8), 1, 64)
+        assert a != b
+
+
+class TestHonestDevice:
+    def test_attestation_accepted(self, setup):
+        soc, verifier = setup
+        request = verifier.new_request(timestamp=100)
+        report = AttestationDevice(soc).attest(request)
+        verdict = verifier.verify(request, report)
+        assert verdict.accepted
+        assert verdict.hash_ok and verdict.time_ok
+
+    def test_requests_are_fresh(self, setup):
+        __, verifier = setup
+        a = verifier.new_request(timestamp=1)
+        b = verifier.new_request(timestamp=1)
+        assert not np.array_equal(a.challenge, b.challenge)
+
+    def test_different_timestamps_different_hashes(self, setup):
+        soc, verifier = setup
+        device = AttestationDevice(soc)
+        request_a = verifier.new_request(timestamp=10)
+        request_b = verifier.new_request(timestamp=20)
+        assert device.attest(request_a).final_hash != \
+            device.attest(request_b).final_hash
+
+    def test_expected_time_positive(self, setup):
+        soc, verifier = setup
+        request = verifier.new_request(timestamp=5)
+        __, expected_time = verifier.expected(request)
+        assert expected_time > 0
+
+    def test_puf_never_stalls_the_walk(self, setup):
+        # The >= 5 Gb/s claim: per-step PUF time below per-step hash time.
+        soc, __ = setup
+        puf_time = soc.strong_puf.interrogation_time_s()
+        hash_time = soc.cpu.hash_time(soc.memory.chunk_size + 64)
+        assert puf_time < hash_time
+
+
+class TestCompromisedDevice:
+    def test_naive_infection_caught_by_hash(self, setup):
+        soc, verifier = setup
+        soc.memory.infect(address=0, length=1024)
+        request = verifier.new_request(timestamp=200)
+        report = AttestationDevice(soc).attest(request)
+        verdict = verifier.verify(request, report)
+        assert not verdict.accepted
+        assert not verdict.hash_ok
+
+    def test_relocation_caught_by_timing(self, setup):
+        soc, verifier = setup
+        compromised = RelocatingCompromisedMemory(
+            soc.memory.image(), chunk_size=soc.memory.chunk_size,
+            infected_chunks=set(range(8)),
+        )
+        request = verifier.new_request(timestamp=300)
+        report = AttestationDevice(soc, memory=compromised).attest(request)
+        verdict = verifier.verify(request, report)
+        assert verdict.hash_ok  # the copy fools the hash...
+        assert not verdict.time_ok  # ...but not the clock
+        assert not verdict.accepted
+
+    def test_wrong_puf_model_rejects(self, setup):
+        # A counterfeit device (different die) cannot produce the chained
+        # hashes the verifier's PUF model expects.
+        soc, verifier = setup
+        counterfeit = DeviceSoC(SoCConfig(seed=21, die_index=5,
+                                          memory_size=8 * 1024))
+        request = verifier.new_request(timestamp=400)
+        report = AttestationDevice(counterfeit).attest(request)
+        verdict = verifier.verify(request, report)
+        assert not verdict.hash_ok
+
+    def test_image_size_validation(self):
+        soc = DeviceSoC(SoCConfig(seed=22, memory_size=8 * 1024))
+        with pytest.raises(ValueError):
+            AttestationVerifier(soc.memory.image()[:-3], soc.strong_puf)

@@ -1,0 +1,164 @@
+"""Tests for the Fig. 4 mutual authentication protocol."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.mutual_auth import (
+    AuthenticationFailure,
+    CRPDatabaseVerifier,
+    derive_challenge,
+    provision,
+    run_session,
+)
+from repro.system.channel import Channel
+from repro.system.soc import DeviceSoC, SoCConfig
+
+
+@pytest.fixture()
+def parties():
+    soc = DeviceSoC(SoCConfig(seed=11, memory_size=8 * 1024))
+    return provision(soc, seed=11)
+
+
+class TestDeriveChallenge:
+    def test_deterministic(self):
+        r = np.ones(32, dtype=np.uint8)
+        assert np.array_equal(derive_challenge(r, 64), derive_challenge(r, 64))
+
+    def test_depends_on_response(self):
+        a = derive_challenge(np.zeros(32, dtype=np.uint8), 64)
+        b = derive_challenge(np.ones(32, dtype=np.uint8), 64)
+        assert not np.array_equal(a, b)
+
+    def test_width(self):
+        assert derive_challenge(np.ones(32, dtype=np.uint8), 77).size == 77
+
+
+class TestHappyPath:
+    def test_single_session(self, parties):
+        device, verifier = parties
+        record = run_session(device, verifier)
+        assert record.success, record.verifier_checks
+
+    def test_crp_rolls_forward(self, parties):
+        device, verifier = parties
+        before = device.current_response.copy()
+        run_session(device, verifier)
+        assert not np.array_equal(device.current_response, before)
+        assert np.array_equal(device.current_response, verifier.current_response)
+
+    def test_many_consecutive_sessions(self, parties):
+        device, verifier = parties
+        for index in range(10):
+            record = run_session(device, verifier)
+            assert record.success, f"session {index}: {record.verifier_checks}"
+
+    def test_constant_verifier_storage(self, parties):
+        # The scalability claim: storage does not grow with session count.
+        device, verifier = parties
+        initial = verifier.storage_bytes
+        for __ in range(5):
+            run_session(device, verifier)
+        assert verifier.storage_bytes == initial
+
+    def test_message_sizes_recorded(self, parties):
+        device, verifier = parties
+        record = run_session(device, verifier)
+        assert record.bytes_device_to_verifier > 0
+        assert record.bytes_verifier_to_device > 0
+
+
+class TestIntegrityEvidence:
+    def test_tampered_clock_count_rejected(self, parties):
+        device, verifier = parties
+        record = run_session(device, verifier, tamper_factor=1.5)
+        assert not record.success
+        assert "clock count" in record.verifier_checks
+
+    def test_modified_firmware_rejected(self, parties):
+        device, verifier = parties
+        device.soc.memory.infect(address=0, length=256)
+        record = run_session(device, verifier)
+        assert not record.success
+        assert "firmware" in record.verifier_checks
+
+
+class TestChannelAdversary:
+    def test_tampering_detected(self, parties):
+        device, verifier = parties
+        channel = Channel()
+
+        def flip(message: bytes) -> bytes:
+            if len(message) < 40:
+                return message  # leave the nonce alone
+            corrupted = bytearray(message)
+            corrupted[20] ^= 1
+            return bytes(corrupted)
+
+        channel.tamper = flip
+        record = run_session(device, verifier, channel=channel)
+        assert not record.success
+
+    def test_eavesdropper_never_sees_plain_response(self, parties):
+        # CRPs are never exchanged in clear text (Sec. III-A): the current
+        # and new responses must not appear in any message.
+        from repro.protocols.mutual_auth import _pad_bits
+
+        device, verifier = parties
+        seen = []
+        channel = Channel()
+        channel.eavesdropper = seen.append
+        before = _pad_bits(device.current_response)
+        record = run_session(device, verifier, channel=channel)
+        after = _pad_bits(device.current_response)
+        assert record.success
+        for message in seen:
+            assert before not in message
+            assert after not in message
+
+
+class TestVerifierStateMachine:
+    def test_finalize_requires_pending(self, parties):
+        __, verifier = parties
+        with pytest.raises(AuthenticationFailure):
+            verifier.finalize()
+
+    def test_device_confirmation_requires_pending(self, parties):
+        device, __ = parties
+        with pytest.raises(AuthenticationFailure):
+            device.verify_confirmation(b"\x00" * 32, b"nonce")
+
+    def test_malformed_message_rejected(self, parties):
+        __, verifier = parties
+        with pytest.raises(AuthenticationFailure):
+            verifier.process_response(b"garbage", b"nonce", 64)
+
+
+class TestCRPDatabaseBaseline:
+    def test_authentication_and_exhaustion(self):
+        soc = DeviceSoC(SoCConfig(seed=12, memory_size=8 * 1024))
+        database = CRPDatabaseVerifier(soc, n_crps=5, seed=12)
+        assert database.remaining == 5
+        assert database.authenticate(soc)
+        assert database.remaining == 4
+
+    def test_storage_grows_with_database(self):
+        soc = DeviceSoC(SoCConfig(seed=13, memory_size=8 * 1024))
+        small = CRPDatabaseVerifier(soc, n_crps=2, seed=13)
+        soc2 = DeviceSoC(SoCConfig(seed=13, memory_size=8 * 1024))
+        large = CRPDatabaseVerifier(soc2, n_crps=8, seed=13)
+        assert large.storage_bytes == 4 * small.storage_bytes
+
+    def test_exhaustion_raises(self):
+        soc = DeviceSoC(SoCConfig(seed=14, memory_size=8 * 1024))
+        database = CRPDatabaseVerifier(soc, n_crps=1, seed=14)
+        database.authenticate(soc)
+        with pytest.raises(AuthenticationFailure):
+            database.authenticate(soc)
+
+    def test_counterfeit_device_rejected(self):
+        soc = DeviceSoC(SoCConfig(seed=15, memory_size=8 * 1024))
+        database = CRPDatabaseVerifier(soc, n_crps=3, seed=15)
+        counterfeit = DeviceSoC(SoCConfig(seed=15, die_index=9,
+                                          memory_size=8 * 1024))
+        assert not database.authenticate(counterfeit)

@@ -1,0 +1,139 @@
+"""Tests for the NN encryption service (Table I) and the EKE-based AKA."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator.network import LayerConfig, NetworkConfig
+from repro.protocols.aka import AkaError, establish_session
+from repro.protocols.nn_service import (
+    KeyVault,
+    NetworkOwner,
+    SecureAccelerator,
+    ServiceError,
+)
+from repro.system.soc import DeviceSoC, SoCConfig
+
+
+@pytest.fixture(scope="module")
+def service():
+    soc = DeviceSoC(SoCConfig(seed=31, memory_size=8 * 1024))
+    vault = KeyVault(soc, seed=31)
+    return soc, vault, SecureAccelerator(soc, vault), NetworkOwner(vault)
+
+
+def tiny_network(seed=0):
+    rng = np.random.default_rng(seed)
+    return NetworkConfig(layers=[
+        LayerConfig(rng.normal(size=(4, 3)), rng.normal(size=4), "relu"),
+        LayerConfig(rng.normal(size=(2, 4)), rng.normal(size=2), "linear"),
+    ])
+
+
+class TestKeyVault:
+    def test_rederivation_from_noisy_measurement(self, service):
+        __, vault, *_ = service
+        assert vault.rederive_key(measurement=5)
+
+    def test_helper_data_public(self, service):
+        __, vault, *_ = service
+        assert vault.helper.offset.size == vault.extractor.response_bits
+
+    def test_no_key_getter(self, service):
+        __, vault, *_ = service
+        assert not hasattr(vault, "master_key")
+        assert not hasattr(vault, "get_key")
+
+
+class TestTableI:
+    def test_load_and_execute(self, service):
+        __, __, accelerator, owner = service
+        accelerator.load_network(owner.seal_network(tiny_network(1)))
+        sealed_output = accelerator.execute_network(
+            owner.seal_input(np.array([0.1, 0.2, 0.3]))
+        )
+        output = owner.open_output(sealed_output)
+        assert output.shape == (2,)
+
+    def test_execute_before_load_rejected(self):
+        soc = DeviceSoC(SoCConfig(seed=32, memory_size=8 * 1024))
+        vault = KeyVault(soc, seed=32)
+        accelerator = SecureAccelerator(soc, vault)
+        owner = NetworkOwner(vault)
+        with pytest.raises(ServiceError):
+            accelerator.execute_network(owner.seal_input(np.zeros(3)))
+
+    def test_tampered_network_rejected(self, service):
+        __, __, accelerator, owner = service
+        sealed = bytearray(owner.seal_network(tiny_network(2)))
+        sealed[25] ^= 1
+        with pytest.raises(ServiceError):
+            accelerator.load_network(bytes(sealed))
+
+    def test_tampered_input_rejected(self, service):
+        __, __, accelerator, owner = service
+        accelerator.load_network(owner.seal_network(tiny_network(3)))
+        sealed = bytearray(owner.seal_input(np.array([0.1, 0.2, 0.3])))
+        sealed[-1] ^= 1
+        with pytest.raises(ServiceError):
+            accelerator.execute_network(bytes(sealed))
+
+    def test_plaintext_never_software_visible(self, service):
+        # The Sec. III-C confidentiality property: neither the network
+        # bytes nor the input/output plaintext ever appear in anything
+        # handed to the software layer.
+        __, __, accelerator, owner = service
+        config = tiny_network(4)
+        x = np.array([0.4, -0.3, 0.9])
+        accelerator.load_network(owner.seal_network(config))
+        sealed_output = accelerator.execute_network(owner.seal_input(x))
+        output = owner.open_output(sealed_output)
+        plaintexts = [config.serialize(), x.tobytes(), output.tobytes()]
+        for visible in accelerator.software_visible_log:
+            for secret in plaintexts:
+                assert secret not in visible
+
+    def test_outputs_differ_across_inputs(self, service):
+        __, __, accelerator, owner = service
+        accelerator.load_network(owner.seal_network(tiny_network(5)))
+        out_a = owner.open_output(accelerator.execute_network(
+            owner.seal_input(np.array([1.0, 0.0, 0.0]))))
+        out_b = owner.open_output(accelerator.execute_network(
+            owner.seal_input(np.array([0.0, 1.0, 0.0]))))
+        assert not np.allclose(out_a, out_b)
+
+    def test_service_latency_recorded(self, service):
+        __, __, accelerator, owner = service
+        accelerator.load_network(owner.seal_network(tiny_network(6)))
+        accelerator.execute_network(owner.seal_input(np.zeros(3)))
+        assert accelerator.load_time_s > 0
+        assert accelerator.execute_time_s > 0
+
+
+class TestAka:
+    def test_session_established(self):
+        response = np.random.default_rng(1).integers(0, 2, 32, dtype=np.uint8)
+        session = establish_session(response, seed=1)
+        assert len(session.session_key) == 32
+        assert session.messages == 3
+        assert session.modexp_total == 4
+
+    def test_wrong_crp_fails(self):
+        rng = np.random.default_rng(2)
+        good = rng.integers(0, 2, 32, dtype=np.uint8)
+        bad = 1 - good
+        with pytest.raises(AkaError):
+            establish_session(good, seed=2, device_response=bad)
+
+    def test_forward_secrecy(self):
+        response = np.random.default_rng(3).integers(0, 2, 32, dtype=np.uint8)
+        a = establish_session(response, seed=3, session_id=0)
+        b = establish_session(response, seed=3, session_id=1)
+        assert a.session_key != b.session_key
+
+    def test_device_cost_dominated_by_modexp(self):
+        response = np.random.default_rng(4).integers(0, 2, 32, dtype=np.uint8)
+        soc = DeviceSoC(SoCConfig(seed=33, memory_size=8 * 1024))
+        session = establish_session(response, soc, seed=4)
+        from repro.protocols.aka import MODEXP_SECONDS_RV32
+
+        assert session.device_time_s >= 2 * MODEXP_SECONDS_RV32

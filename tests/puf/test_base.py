@@ -1,0 +1,119 @@
+"""Tests for the PUF base abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.puf.base import (
+    CRP,
+    NOMINAL_ENV,
+    PUF,
+    PUFEnvironment,
+    PUFFamily,
+    StrongPUF,
+    WeakPUF,
+)
+
+
+class ToyPUF(StrongPUF):
+    """XOR-parity toy PUF keyed by a device index (for base-class tests)."""
+
+    def __init__(self, die_index=0):
+        super().__init__()
+        self.challenge_bits = 8
+        self.response_bits = 2
+        self.die_index = die_index
+
+    def _evaluate(self, challenge, env, measurement):
+        parity = int(challenge.sum() + self.die_index) % 2
+        return np.array([parity, 1 - parity], dtype=np.uint8)
+
+
+class ToyWeakPUF(WeakPUF):
+    def __init__(self):
+        super().__init__()
+        self.challenge_bits = 3
+        self.response_bits = 1
+
+    @property
+    def n_addresses(self):
+        return 8
+
+    def _evaluate(self, challenge, env, measurement):
+        return np.array([int(challenge.sum()) % 2], dtype=np.uint8)
+
+
+class TestEnvironment:
+    def test_defaults(self):
+        assert NOMINAL_ENV.temperature_c == 25.0
+        assert NOMINAL_ENV.noise_scale == 1.0
+
+    def test_with_helpers(self):
+        env = PUFEnvironment().with_temperature(50.0).with_noise_scale(2.0)
+        assert env.temperature_c == 50.0
+        assert env.noise_scale == 2.0
+        env2 = env.with_age(100.0)
+        assert env2.age_hours == 100.0
+        assert env.age_hours == 0.0  # immutable
+
+
+class TestPUFBase:
+    def test_challenge_length_checked(self):
+        with pytest.raises(ValueError):
+            ToyPUF().evaluate(np.zeros(4, dtype=np.uint8))
+
+    def test_measurement_counter_advances(self):
+        puf = ToyPUF()
+        puf.evaluate(np.zeros(8, dtype=np.uint8))
+        assert puf._measurement_counter == 1
+
+    def test_crp_wrapper(self):
+        puf = ToyPUF()
+        crp = puf.crp(np.ones(8, dtype=np.uint8))
+        assert isinstance(crp, CRP)
+        assert crp.challenge.size == 8
+        assert crp.response.size == 2
+
+    def test_random_challenge_length(self):
+        puf = ToyPUF()
+        challenge = puf.random_challenge(np.random.default_rng(0))
+        assert challenge.size == 8
+
+    def test_challenge_space_size(self):
+        assert ToyPUF().challenge_space_size() == 256
+
+
+class TestWeakPUF:
+    def test_address_round_trip(self):
+        puf = ToyWeakPUF()
+        for addr in (0, 3, 7):
+            challenge = puf.address_challenge(addr)
+            assert puf.address_from_challenge(challenge) == addr
+
+    def test_address_out_of_range(self):
+        with pytest.raises(ValueError):
+            ToyWeakPUF().address_challenge(8)
+
+    def test_read_all_length(self):
+        assert ToyWeakPUF().read_all().size == 8
+
+
+class TestPUFFamily:
+    def test_device_creation(self):
+        family = PUFFamily(lambda die: ToyPUF(die), 4)
+        assert family.device(0).die_index == 0
+        assert family.device(3).die_index == 3
+
+    def test_bad_index(self):
+        family = PUFFamily(lambda die: ToyPUF(die), 2)
+        with pytest.raises(ValueError):
+            family.device(2)
+
+    def test_needs_devices(self):
+        with pytest.raises(ValueError):
+            PUFFamily(lambda die: ToyPUF(die), 0)
+
+    def test_response_matrix_shape(self):
+        family = PUFFamily(lambda die: ToyPUF(die), 3)
+        challenges = [np.zeros(8, dtype=np.uint8), np.ones(8, dtype=np.uint8)]
+        matrix = family.response_matrix(challenges)
+        assert matrix.shape == (3, 4)  # 3 devices x (2 challenges x 2 bits)

@@ -1,0 +1,220 @@
+"""Tests for the electronic PUF baselines: SRAM, RO, arbiter, XOR-arbiter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.puf.arbiter import ArbiterPUF, XORArbiterPUF, parity_features
+from repro.puf.base import PUFEnvironment
+from repro.puf.ro import ROPUF
+from repro.puf.sram import SRAMPUF
+
+
+class TestSRAM:
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            SRAMPUF(n_cells=100)
+
+    def test_fingerprint_stable_same_measurement(self):
+        puf = SRAMPUF(n_cells=256, seed=1)
+        assert np.array_equal(puf.power_up(measurement=0), puf.power_up(measurement=0))
+
+    def test_uniformity_near_half(self):
+        bits = SRAMPUF(n_cells=4096, seed=2).power_up(measurement=0)
+        assert 0.45 < bits.mean() < 0.55
+
+    def test_intra_device_error_small(self):
+        puf = SRAMPUF(n_cells=4096, seed=3)
+        ref = puf.power_up(measurement=0)
+        errors = [np.mean(puf.power_up(measurement=m) != ref) for m in range(1, 5)]
+        assert 0.0 < np.mean(errors) < 0.10
+
+    def test_inter_device_distance_near_half(self):
+        a = SRAMPUF(n_cells=4096, seed=4, die_index=0).power_up(measurement=0)
+        b = SRAMPUF(n_cells=4096, seed=4, die_index=1).power_up(measurement=0)
+        assert 0.45 < np.mean(a != b) < 0.55
+
+    def test_temperature_increases_noise(self):
+        puf = SRAMPUF(n_cells=4096, seed=5)
+        ref = puf.power_up(measurement=0)
+        cold = np.mean([np.mean(puf.power_up(measurement=m) != ref)
+                        for m in range(1, 6)])
+        hot_env = PUFEnvironment(temperature_c=85.0)
+        hot = np.mean([np.mean(puf.power_up(hot_env, measurement=m + 10) != ref)
+                       for m in range(1, 6)])
+        assert hot > cold
+
+    def test_aging_flips_bits(self):
+        puf = SRAMPUF(n_cells=4096, seed=6)
+        fresh = puf.power_up(measurement=0)
+        aged_env = PUFEnvironment(age_hours=50_000.0, noise_scale=0.0)
+        aged = puf.power_up(aged_env, measurement=0)
+        flips = np.mean(fresh != aged)
+        assert 0.0 < flips < 0.2
+
+    def test_single_cell_evaluate_matches_class_contract(self):
+        puf = SRAMPUF(n_cells=256, seed=7)
+        response = puf.evaluate(puf.address_challenge(5), measurement=0)
+        assert response.size == 1
+        assert response[0] in (0, 1)
+
+    def test_remanence_short_off_keeps_data(self):
+        puf = SRAMPUF(n_cells=1024, seed=8)
+        written = np.ones(1024, dtype=np.uint8)  # attacker-written pattern
+        read = puf.remanence_read(written, power_off_seconds=0.001, measurement=0)
+        assert np.mean(read == written) > 0.95
+
+    def test_remanence_long_off_converges_to_powerup(self):
+        puf = SRAMPUF(n_cells=1024, seed=8)
+        written = np.ones(1024, dtype=np.uint8)
+        read = puf.remanence_read(written, power_off_seconds=10.0, measurement=0)
+        fingerprint = puf.power_up(measurement=0)
+        assert np.mean(read == fingerprint) > 0.95
+
+    def test_remanence_requires_full_array(self):
+        puf = SRAMPUF(n_cells=1024, seed=8)
+        with pytest.raises(ValueError):
+            puf.remanence_read(np.ones(10, dtype=np.uint8), 0.1)
+
+
+class TestRO:
+    def test_pair_count(self):
+        puf = ROPUF(n_ros=256, seed=1)
+        assert puf.n_addresses == 128
+
+    def test_frequencies_positive(self):
+        freqs = ROPUF(n_ros=64, seed=2).frequencies(measurement=0)
+        assert (freqs > 0).all()
+
+    def test_response_is_sign_of_margin(self):
+        puf = ROPUF(n_ros=64, seed=3)
+        for addr in range(8):
+            challenge = puf.address_challenge(addr)
+            margin = puf.margin(challenge, measurement=0)
+            bit = puf.evaluate(challenge, measurement=0)[0]
+            assert bit == (1 if margin > 0 else 0)
+
+    def test_uniformity(self):
+        bits = ROPUF(n_ros=2048, seed=4).read_all(measurement=0)
+        assert 0.4 < bits.mean() < 0.6
+
+    def test_intra_error_small_but_nonzero(self):
+        puf = ROPUF(n_ros=2048, seed=5)
+        ref = puf.read_all(measurement=0)
+        errors = [np.mean(puf.read_all(measurement=m) != ref) for m in range(1, 8)]
+        assert 0.0 < np.mean(errors) < 0.05
+
+    def test_temperature_common_mode_mostly_cancels(self):
+        puf = ROPUF(n_ros=2048, seed=6)
+        ref = puf.read_all(measurement=0)
+        hot = puf.read_all(PUFEnvironment(temperature_c=85.0), measurement=1)
+        assert np.mean(ref != hot) < 0.2
+
+    def test_all_margins_match_pairwise(self):
+        puf = ROPUF(n_ros=64, seed=7)
+        margins = puf.all_margins(measurement=0)
+        assert margins.shape == (32,)
+        assert margins[0] == pytest.approx(puf.counter_difference(0, measurement=0))
+
+    def test_voltage_shifts_frequencies(self):
+        puf = ROPUF(n_ros=64, seed=8)
+        nominal = puf.frequencies(measurement=0).mean()
+        high_v = puf.frequencies(PUFEnvironment(supply_v=1.3), measurement=0).mean()
+        assert high_v > nominal
+
+
+class TestParityFeatures:
+    def test_shape(self):
+        phi = parity_features(np.zeros((5, 16), dtype=np.uint8))
+        assert phi.shape == (5, 17)
+
+    def test_all_zero_challenge(self):
+        phi = parity_features(np.zeros((1, 4), dtype=np.uint8))[0]
+        assert phi.tolist() == [1, 1, 1, 1, 1]
+
+    def test_single_one_flips_prefix(self):
+        challenge = np.array([[0, 1, 0, 0]], dtype=np.uint8)
+        phi = parity_features(challenge)[0]
+        # phi_i = prod_{j>=i}(1-2c_j): positions 0..1 see the -1.
+        assert phi.tolist() == [-1, -1, 1, 1, 1]
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=32))
+    @settings(max_examples=30)
+    def test_values_are_pm_one(self, bits):
+        phi = parity_features(np.array([bits], dtype=np.uint8))[0]
+        assert set(np.unique(phi[:-1])) <= {-1.0, 1.0}
+        assert phi[-1] == 1.0
+
+
+class TestArbiter:
+    def test_linear_model_consistency(self):
+        # Noise-free response must equal sign(w . phi(c)).
+        puf = ArbiterPUF(n_stages=32, seed=1, sigma_noise=0.0)
+        rng = np.random.default_rng(0)
+        challenges = rng.integers(0, 2, size=(50, 32), dtype=np.uint8)
+        responses = puf.evaluate_batch(challenges, measurement=0)
+        predicted = (parity_features(challenges) @ puf.weights > 0).astype(np.uint8)
+        assert np.array_equal(responses, predicted)
+
+    def test_batch_matches_scalar_statistics(self):
+        puf = ArbiterPUF(n_stages=32, seed=2, sigma_noise=0.0)
+        rng = np.random.default_rng(1)
+        challenges = rng.integers(0, 2, size=(20, 32), dtype=np.uint8)
+        batch = puf.evaluate_batch(challenges, measurement=0)
+        scalar = np.array([puf.evaluate(c, measurement=0)[0] for c in challenges])
+        assert np.array_equal(batch, scalar)
+
+    def test_uniformity(self):
+        puf = ArbiterPUF(n_stages=64, seed=3)
+        rng = np.random.default_rng(2)
+        challenges = rng.integers(0, 2, size=(4000, 64), dtype=np.uint8)
+        assert 0.4 < puf.evaluate_batch(challenges, measurement=0).mean() < 0.6
+
+    def test_inter_device(self):
+        rng = np.random.default_rng(3)
+        challenges = rng.integers(0, 2, size=(2000, 64), dtype=np.uint8)
+        a = ArbiterPUF(64, seed=4, die_index=0).evaluate_batch(challenges, measurement=0)
+        b = ArbiterPUF(64, seed=4, die_index=1).evaluate_batch(challenges, measurement=0)
+        assert 0.4 < np.mean(a != b) < 0.6
+
+    def test_noise_flips_near_threshold_bits(self):
+        puf = ArbiterPUF(n_stages=64, seed=5, sigma_noise=0.05)
+        rng = np.random.default_rng(4)
+        challenges = rng.integers(0, 2, size=(3000, 64), dtype=np.uint8)
+        r0 = puf.evaluate_batch(challenges, measurement=0)
+        r1 = puf.evaluate_batch(challenges, measurement=1)
+        error = np.mean(r0 != r1)
+        assert 0.0 < error < 0.1
+
+    def test_needs_two_stages(self):
+        with pytest.raises(ValueError):
+            ArbiterPUF(n_stages=1)
+
+
+class TestXORArbiter:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            XORArbiterPUF(k=0)
+
+    def test_xor_of_chains(self):
+        puf = XORArbiterPUF(n_stages=16, k=3, seed=6, sigma_noise=0.0)
+        challenge = np.ones(16, dtype=np.uint8)
+        expected = 0
+        for chain in puf._chains:
+            expected ^= int(chain.evaluate(challenge, measurement=0)[0])
+        assert puf.evaluate(challenge, measurement=0)[0] == expected
+
+    def test_batch_matches_scalar(self):
+        puf = XORArbiterPUF(n_stages=16, k=2, seed=7, sigma_noise=0.0)
+        rng = np.random.default_rng(5)
+        challenges = rng.integers(0, 2, size=(10, 16), dtype=np.uint8)
+        batch = puf.evaluate_batch(challenges, measurement=0)
+        scalar = np.array([puf.evaluate(c, measurement=0)[0] for c in challenges])
+        assert np.array_equal(batch, scalar)
+
+    def test_uniformity(self):
+        puf = XORArbiterPUF(n_stages=64, k=4, seed=8)
+        rng = np.random.default_rng(6)
+        challenges = rng.integers(0, 2, size=(3000, 64), dtype=np.uint8)
+        assert 0.4 < puf.evaluate_batch(challenges, measurement=0).mean() < 0.6

@@ -1,0 +1,226 @@
+"""Tests for the photonic weak and strong PUFs — the paper's primitives."""
+
+import numpy as np
+import pytest
+
+from repro.puf.base import PUFEnvironment
+from repro.puf.composite import CompositePUF
+from repro.puf.photonic_strong import PhotonicStrongPUF, photonic_strong_family
+from repro.puf.photonic_weak import PhotonicWeakPUF, photonic_weak_family
+from repro.puf.sram import SRAMPUF
+
+
+@pytest.fixture(scope="module")
+def weak_devices():
+    return [PhotonicWeakPUF(n_rings=16, n_wavelengths=2, seed=1, die_index=i)
+            for i in range(4)]
+
+
+@pytest.fixture(scope="module")
+def strong_pair():
+    return (PhotonicStrongPUF(challenge_bits=32, response_bits=16, seed=2, die_index=0),
+            PhotonicStrongPUF(challenge_bits=32, response_bits=16, seed=2, die_index=1))
+
+
+@pytest.fixture(scope="module")
+def challenges32():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 2, size=(30, 32), dtype=np.uint8)
+
+
+class TestPhotonicWeak:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhotonicWeakPUF(n_rings=3)
+        with pytest.raises(ValueError):
+            PhotonicWeakPUF(n_wavelengths=0)
+
+    def test_address_count(self, weak_devices):
+        puf = weak_devices[0]
+        assert puf.n_addresses == (16 // 2) * 2
+
+    def test_fingerprint_reproducible(self, weak_devices):
+        puf = weak_devices[0]
+        assert np.array_equal(puf.read_all(measurement=0), puf.read_all(measurement=0))
+
+    def test_devices_differ(self, weak_devices):
+        a = weak_devices[0].read_all(measurement=0)
+        b = weak_devices[1].read_all(measurement=0)
+        assert 0.1 < np.mean(a != b) < 0.9
+
+    def test_intra_error_small(self, weak_devices):
+        puf = weak_devices[0]
+        ref = puf.read_all(measurement=0)
+        errors = [np.mean(puf.read_all(measurement=m) != ref) for m in range(1, 5)]
+        assert np.mean(errors) < 0.05
+
+    def test_response_is_sign_of_margin(self, weak_devices):
+        puf = weak_devices[0]
+        for addr in range(4):
+            challenge = puf.address_challenge(addr)
+            margin = puf.margin(challenge, measurement=0)
+            bit = puf.evaluate(challenge, measurement=0)[0]
+            assert bit == (1 if margin > 0 else 0)
+
+    def test_thermal_tracking_limits_temperature_damage(self):
+        tracked = PhotonicWeakPUF(n_rings=16, seed=3, die_index=0,
+                                  thermal_tracking=True)
+        untracked = PhotonicWeakPUF(n_rings=16, seed=3, die_index=0,
+                                    thermal_tracking=False)
+        hot = PUFEnvironment(temperature_c=45.0)
+        ref_t = tracked.read_all(measurement=0)
+        ref_u = untracked.read_all(measurement=0)
+        err_tracked = np.mean([np.mean(tracked.read_all(hot, measurement=m) != ref_t)
+                               for m in range(1, 4)])
+        err_untracked = np.mean([np.mean(untracked.read_all(hot, measurement=m) != ref_u)
+                                 for m in range(1, 4)])
+        assert err_tracked < err_untracked
+        assert err_tracked < 0.15
+
+    def test_noise_scale_zero_is_noiseless(self, weak_devices):
+        puf = weak_devices[2]
+        quiet = PUFEnvironment(noise_scale=0.0)
+        a = puf.read_all(quiet, measurement=0)
+        b = puf.read_all(quiet, measurement=99)
+        assert np.array_equal(a, b)
+
+    def test_family_helper(self):
+        family = photonic_weak_family(3, seed=9, n_rings=8, n_wavelengths=1)
+        assert family.n_devices == 3
+        assert family.device(0).n_addresses == 4
+
+
+class TestPhotonicStrong:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhotonicStrongPUF(challenge_bits=4)
+        with pytest.raises(ValueError):
+            PhotonicStrongPUF(response_bits=0)
+        with pytest.raises(ValueError):
+            PhotonicStrongPUF(thermal_stabilization=1.5)
+
+    def test_response_shape(self, strong_pair, challenges32):
+        responses = strong_pair[0].evaluate_batch(challenges32, measurement=0)
+        assert responses.shape == (30, 16)
+
+    def test_reproducible(self, strong_pair, challenges32):
+        a = strong_pair[0].evaluate_batch(challenges32, measurement=0)
+        b = strong_pair[0].evaluate_batch(challenges32, measurement=0)
+        assert np.array_equal(a, b)
+
+    def test_inter_device_near_half(self, strong_pair, challenges32):
+        a = strong_pair[0].evaluate_batch(challenges32, measurement=0)
+        b = strong_pair[1].evaluate_batch(challenges32, measurement=0)
+        assert 0.3 < np.mean(a != b) < 0.7
+
+    def test_intra_device_small(self, strong_pair, challenges32):
+        a = strong_pair[0].evaluate_batch(challenges32, measurement=0)
+        b = strong_pair[0].evaluate_batch(challenges32, measurement=1)
+        assert np.mean(a != b) < 0.12
+
+    def test_challenge_sensitivity(self, strong_pair):
+        # One flipped challenge bit must change many response bits
+        # (avalanche through the scrambler + memory).
+        puf = strong_pair[0]
+        base = np.zeros(32, dtype=np.uint8)
+        flipped = base.copy()
+        flipped[10] = 1
+        quiet = PUFEnvironment(noise_scale=0.0)
+        r_base = puf.evaluate(base, quiet, measurement=0)
+        r_flip = puf.evaluate(flipped, quiet, measurement=0)
+        assert np.mean(r_base != r_flip) > 0.05
+
+    def test_memory_makes_past_bits_matter(self):
+        # Two challenges identical in the last slots but different earlier:
+        # with ring memory the *energies* in the final slot differ (the
+        # reservoir property), and across many such pairs some response
+        # bits flip too.
+        puf = PhotonicStrongPUF(challenge_bits=32, response_bits=7,
+                                n_channels=8, seed=5, with_memory=True)
+        quiet = PUFEnvironment(noise_scale=0.0)
+        a = np.ones(32, dtype=np.uint8)
+        b = a.copy()
+        b[27] = 0  # differs a few slots before the readout window
+        ea = puf.slot_energies(a, quiet, measurement=0)
+        eb = puf.slot_energies(b, quiet, measurement=0)
+        relative = np.abs(ea[:, -1] - eb[:, -1]).max() / ea[:, -1].max()
+        assert relative > 0.01
+
+        rng = np.random.default_rng(3)
+        flips = 0
+        for trial in range(20):
+            base = rng.integers(0, 2, size=32, dtype=np.uint8)
+            other = base.copy()
+            other[20:28] ^= 1  # perturb history, keep the last 4 slots
+            ra = puf.evaluate(base, quiet, measurement=0)
+            rb = puf.evaluate(other, quiet, measurement=0)
+            flips += int(np.sum(ra != rb))
+        assert flips > 0
+
+    def test_memoryless_ablation_forgets_past(self):
+        # Without ring memory the final-slot energies cannot depend on
+        # earlier challenge bits (once modulator edges settle).
+        puf = PhotonicStrongPUF(challenge_bits=32, response_bits=7,
+                                n_channels=8, seed=5, with_memory=False)
+        quiet = PUFEnvironment(noise_scale=0.0)
+        a = np.ones(32, dtype=np.uint8)
+        b = a.copy()
+        b[10] = 0  # far from the readout window
+        ea = puf.slot_energies(a, quiet, measurement=0)
+        eb = puf.slot_energies(b, quiet, measurement=0)
+        relative = np.abs(ea[:, -1] - eb[:, -1]).max() / ea[:, -1].max()
+        assert relative < 1e-6
+
+    def test_scalar_batch_consistency(self, strong_pair, challenges32):
+        puf = strong_pair[0]
+        quiet = PUFEnvironment(noise_scale=0.0)
+        batch = puf.evaluate_batch(challenges32[:5], quiet, measurement=0)
+        scalar = np.vstack([puf.evaluate(c, quiet, measurement=0)
+                            for c in challenges32[:5]])
+        assert np.array_equal(batch, scalar)
+
+    def test_timing_claims(self, strong_pair):
+        puf = strong_pair[0]
+        assert puf.throughput_bits_per_s() == pytest.approx(25e9)
+        assert puf.response_lifetime_s() < 100e-9  # paper Sec. IV claim
+        assert puf.interrogation_time_s() == pytest.approx(
+            (32 + puf.guard_slots) / 25e9
+        )
+
+    def test_family_helper(self):
+        family = photonic_strong_family(2, seed=11, challenge_bits=16,
+                                        response_bits=8)
+        assert family.device(1).die_index == 1
+
+
+class TestComposite:
+    def test_binding_detects_chip_swap(self, challenges32):
+        pic0 = PhotonicStrongPUF(challenge_bits=32, response_bits=16, seed=7, die_index=0)
+        pic1 = PhotonicStrongPUF(challenge_bits=32, response_bits=16, seed=7, die_index=1)
+        asic0 = SRAMPUF(n_cells=256, seed=8, die_index=0)
+        asic1 = SRAMPUF(n_cells=256, seed=8, die_index=1)
+        genuine = CompositePUF(pic0, asic0)
+        swap_pic = CompositePUF(pic1, asic0)
+        swap_asic = CompositePUF(pic0, asic1)
+        ref = genuine.evaluate_batch(challenges32[:10], measurement=0)
+        assert 0.2 < np.mean(ref != swap_pic.evaluate_batch(challenges32[:10], measurement=0))
+        assert 0.2 < np.mean(ref != swap_asic.evaluate_batch(challenges32[:10], measurement=0))
+
+    def test_composite_stable(self, challenges32):
+        pic = PhotonicStrongPUF(challenge_bits=32, response_bits=16, seed=9, die_index=0)
+        asic = SRAMPUF(n_cells=256, seed=10, die_index=0)
+        a = CompositePUF(pic, asic)
+        b = CompositePUF(pic, asic)  # re-assembled, same chips
+        r0 = a.evaluate_batch(challenges32[:8], measurement=0)
+        r1 = b.evaluate_batch(challenges32[:8], measurement=0)
+        assert np.array_equal(r0, r1)
+
+    def test_scalar_batch_consistency(self, challenges32):
+        pic = PhotonicStrongPUF(challenge_bits=32, response_bits=16, seed=12, die_index=0)
+        asic = SRAMPUF(n_cells=256, seed=13)
+        comp = CompositePUF(pic, asic)
+        quiet = PUFEnvironment(noise_scale=0.0)
+        batch = comp.evaluate_batch(challenges32[:4], quiet, measurement=0)
+        scalar = np.vstack([comp.evaluate(c, quiet, measurement=0)
+                            for c in challenges32[:4]])
+        assert np.array_equal(batch, scalar)

@@ -1,0 +1,93 @@
+"""Tests for the photonic TRNG: entropy quality + health-test coverage."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import pass_fraction, run_suite
+from repro.puf.trng import (
+    BiasedSource,
+    EntropyFailure,
+    HealthTestState,
+    PhotonicTRNG,
+    StuckSource,
+)
+
+
+class TestRawSource:
+    def test_raw_bits_binary(self):
+        trng = PhotonicTRNG(seed=1)
+        raw = trng.raw_bits(2000)
+        assert set(np.unique(raw)) <= {0, 1}
+
+    def test_raw_bits_roughly_balanced(self):
+        raw = PhotonicTRNG(seed=2).raw_bits(20_000)
+        assert 0.35 < raw.mean() < 0.65
+
+    def test_streams_independent(self):
+        a = PhotonicTRNG(seed=3, stream_id=0).raw_bits(1000)
+        b = PhotonicTRNG(seed=3, stream_id=1).raw_bits(1000)
+        assert not np.array_equal(a, b)
+
+    def test_consecutive_draws_fresh(self):
+        trng = PhotonicTRNG(seed=4)
+        assert not np.array_equal(trng.raw_bits(1000), trng.raw_bits(1000))
+
+
+class TestConditionedOutput:
+    def test_length(self):
+        assert len(PhotonicTRNG(seed=5).random_bytes(48)) == 48
+
+    def test_bits_helper(self):
+        assert PhotonicTRNG(seed=6).random_bits(37).size == 37
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonicTRNG(seed=7).random_bytes(-1)
+
+    def test_passes_nist_battery(self):
+        trng = PhotonicTRNG(seed=8)
+        stream = trng.random_bits(8192)
+        results = run_suite(stream)
+        assert pass_fraction(results) >= 7 / 8
+
+    def test_outputs_differ_between_instances(self):
+        a = PhotonicTRNG(seed=9, stream_id=0).random_bytes(32)
+        b = PhotonicTRNG(seed=9, stream_id=1).random_bytes(32)
+        assert a != b
+
+
+class TestHealthTests:
+    def test_stuck_source_caught(self):
+        trng = StuckSource(seed=10)
+        with pytest.raises(EntropyFailure):
+            trng.random_bytes(16)
+        assert trng.health.failures == 1
+
+    def test_biased_source_caught(self):
+        trng = BiasedSource(bias=0.97, seed=11)
+        with pytest.raises(EntropyFailure):
+            # One conditioning block is enough raw data for the APT window.
+            trng.random_bytes(16)
+
+    def test_healthy_source_never_trips(self):
+        trng = PhotonicTRNG(seed=12)
+        for __ in range(10):
+            trng.random_bytes(32)
+        assert trng.health.failures == 0
+
+    def test_repetition_count_unit(self):
+        health = HealthTestState(rct_cutoff=5)
+        with pytest.raises(EntropyFailure):
+            health.update(np.ones(10, dtype=np.uint8))
+
+    def test_adaptive_proportion_unit(self):
+        health = HealthTestState(window=64, apt_cutoff=50, rct_cutoff=1000)
+        biased = np.ones(64, dtype=np.uint8)
+        biased[::9] = 0  # break runs, keep heavy bias
+        with pytest.raises(EntropyFailure):
+            health.update(biased)
+
+    def test_balanced_stream_passes_unit(self):
+        health = HealthTestState(window=64, apt_cutoff=50)
+        health.update(np.tile([0, 1, 1, 0], 64).astype(np.uint8))
+        assert health.failures == 0

@@ -1,0 +1,98 @@
+"""Tests for temperature compensation, majority voting, dark-bit masking."""
+
+import numpy as np
+import pytest
+
+from repro.puf import PUFEnvironment, SRAMPUF
+from repro.quality.compensation import (
+    DarkBitMask,
+    MajorityVoteReader,
+    TemperatureController,
+    TemperatureSensor,
+)
+
+
+class TestTemperatureSensor:
+    def test_reads_near_truth(self):
+        sensor = TemperatureSensor(sigma_k=0.1)
+        env = PUFEnvironment(temperature_c=40.0)
+        readings = [sensor.read(env, measurement=m) for m in range(50)]
+        assert np.mean(readings) == pytest.approx(40.0, abs=0.1)
+
+    def test_deterministic_per_measurement(self):
+        sensor = TemperatureSensor()
+        env = PUFEnvironment(temperature_c=30.0)
+        assert sensor.read(env, 3) == sensor.read(env, 3)
+
+
+class TestTemperatureController:
+    def test_rejection(self):
+        controller = TemperatureController(rejection=0.9)
+        env = PUFEnvironment(temperature_c=45.0)
+        regulated = controller.regulate(env)
+        assert regulated.temperature_c == pytest.approx(27.0)
+
+    def test_saturation(self):
+        controller = TemperatureController(rejection=1.0, max_delta_k=10.0)
+        env = PUFEnvironment(temperature_c=60.0)  # 35 K over setpoint
+        regulated = controller.regulate(env)
+        # 10 K actuated away, 25 K of excursion remain.
+        assert regulated.temperature_c == pytest.approx(50.0)
+
+    def test_no_excursion_no_action(self):
+        controller = TemperatureController()
+        env = PUFEnvironment(temperature_c=25.0)
+        assert controller.regulate(env).temperature_c == 25.0
+
+
+class TestMajorityVote:
+    def test_odd_votes_required(self):
+        with pytest.raises(ValueError):
+            MajorityVoteReader(SRAMPUF(n_cells=64, seed=1), n_votes=4)
+
+    def test_voting_reduces_error(self):
+        puf = SRAMPUF(n_cells=8192, seed=2, sigma_noise_mv=12.0)
+        reference = puf.power_up(PUFEnvironment(noise_scale=0.0), measurement=0)
+        raw_errors = np.mean([
+            np.mean(puf.power_up(measurement=m) != reference) for m in range(1, 6)
+        ])
+        reader = MajorityVoteReader(puf, n_votes=9)
+        voted = reader.read(base_measurement=100)
+        voted_error = np.mean(voted != reference)
+        assert voted_error < raw_errors
+
+
+class TestDarkBitMask:
+    def test_enrollment_masks_unstable_bits(self):
+        puf = SRAMPUF(n_cells=2048, seed=3, sigma_noise_mv=10.0)
+        mask = DarkBitMask.enroll(puf, n_measurements=9)
+        assert 0 < mask.n_stable < 2048
+
+    def test_masked_read_is_more_stable(self):
+        puf = SRAMPUF(n_cells=4096, seed=4, sigma_noise_mv=10.0)
+        mask = DarkBitMask.enroll(puf, n_measurements=9)
+        reference = mask.stable_reference()
+        errors = []
+        for m in range(20, 25):
+            masked = mask.apply(puf.power_up(measurement=m))
+            errors.append(np.mean(masked != reference))
+        full_reference = puf.power_up(PUFEnvironment(noise_scale=0.0), measurement=0)
+        full_errors = [
+            np.mean(puf.power_up(measurement=m) != full_reference)
+            for m in range(30, 35)
+        ]
+        assert np.mean(errors) < np.mean(full_errors)
+
+    def test_apply_length_checked(self):
+        puf = SRAMPUF(n_cells=256, seed=5)
+        mask = DarkBitMask.enroll(puf, n_measurements=3)
+        with pytest.raises(ValueError):
+            mask.apply(np.zeros(100, dtype=np.uint8))
+
+    def test_enrollment_needs_two(self):
+        with pytest.raises(ValueError):
+            DarkBitMask.enroll(SRAMPUF(n_cells=64, seed=6), n_measurements=1)
+
+    def test_mask_shape_validation(self):
+        with pytest.raises(ValueError):
+            DarkBitMask(np.ones(4, dtype=bool), np.zeros(5, dtype=np.uint8))

@@ -1,0 +1,111 @@
+"""Tests for the Vinagrero threshold-filtering algorithm (Fig. 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.puf import PUFFamily, ROPUF
+from repro.puf.photonic_weak import photonic_weak_family
+from repro.quality.filtering import (
+    ThresholdFilter,
+    aliasing_reliability_sweep,
+    collect_population_data,
+    recommend_band,
+)
+
+
+@pytest.fixture(scope="module")
+def ro_population():
+    family = PUFFamily(lambda die: ROPUF(n_ros=256, seed=30, die_index=die), 16)
+    return collect_population_data(family, n_measurements=5)
+
+
+class TestThresholdFilter:
+    def test_band_selection(self):
+        f = ThresholdFilter(low=1.0, high=3.0)
+        mask = f.select(np.array([0.5, -2.0, 2.5, 4.0, -0.1]))
+        assert mask.tolist() == [False, True, True, False, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdFilter(low=-1.0)
+        with pytest.raises(ValueError):
+            ThresholdFilter(low=2.0, high=1.0)
+
+    def test_default_high_is_open(self):
+        f = ThresholdFilter(low=0.0)
+        assert f.select(np.array([1e9])).all()
+
+
+class TestSweep:
+    def test_zero_threshold_keeps_everything(self, ro_population):
+        margins, bits = ro_population
+        rows = aliasing_reliability_sweep(margins, bits, [0.0])
+        assert rows[0].surviving_fraction == 1.0
+
+    def test_reliability_monotonic_up(self, ro_population):
+        margins, bits = ro_population
+        thresholds = np.linspace(0, np.abs(margins).std(), 6)
+        rows = aliasing_reliability_sweep(margins, bits, thresholds)
+        reliabilities = [r.reliability for r in rows if not math.isnan(r.reliability)]
+        assert reliabilities[-1] >= reliabilities[0]
+
+    def test_entropy_decreases_at_extreme_thresholds(self, ro_population):
+        # The Fig. 3 effect: extreme margins are dominated by the
+        # systematic layout component and alias across devices.
+        margins, bits = ro_population
+        low = aliasing_reliability_sweep(margins, bits, [0.0])[0]
+        high = aliasing_reliability_sweep(
+            margins, bits, [2.5 * np.abs(margins).std()]
+        )[0]
+        assert high.aliasing_entropy < low.aliasing_entropy
+
+    def test_surviving_fraction_decreases(self, ro_population):
+        margins, bits = ro_population
+        thresholds = np.linspace(0, np.abs(margins).max(), 8)
+        rows = aliasing_reliability_sweep(margins, bits, thresholds)
+        fractions = [r.surviving_fraction for r in rows]
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+
+    def test_shape_mismatch_rejected(self, ro_population):
+        margins, bits = ro_population
+        with pytest.raises(ValueError):
+            aliasing_reliability_sweep(margins[:, :-1], bits, [0.0])
+
+    def test_band_pass_variant(self, ro_population):
+        # An upper bound excludes the aliased extreme margins.
+        margins, bits = ro_population
+        sigma = np.abs(margins).std()
+        open_rows = aliasing_reliability_sweep(margins, bits, [0.5 * sigma])
+        banded = aliasing_reliability_sweep(margins, bits, [0.5 * sigma],
+                                            high=2.0 * sigma)
+        assert banded[0].aliasing_entropy >= open_rows[0].aliasing_entropy - 1e-9
+
+
+class TestRecommendBand:
+    def test_finds_tradeoff(self, ro_population):
+        margins, bits = ro_population
+        thresholds = np.linspace(0, 2 * np.abs(margins).std(), 10)
+        rows = aliasing_reliability_sweep(margins, bits, thresholds)
+        band = recommend_band(rows, min_entropy=0.5, min_reliability=0.9)
+        assert band is not None
+        assert band[0] <= band[1]
+
+    def test_impossible_constraints_return_none(self, ro_population):
+        margins, bits = ro_population
+        rows = aliasing_reliability_sweep(margins, bits, [0.0])
+        assert recommend_band(rows, min_entropy=1.1) is None
+
+
+class TestPhotonicPopulation:
+    def test_photocurrent_margins_collected(self):
+        # The photonic analogue: margins are photocurrent differences.
+        family = photonic_weak_family(6, seed=31, n_rings=16, n_wavelengths=2)
+        margins, bits = collect_population_data(family, n_measurements=3)
+        assert margins.shape == (6, 16)
+        assert bits.shape == (6, 3, 16)
+        rows = aliasing_reliability_sweep(margins, bits,
+                                          [0.0, np.abs(margins).mean()])
+        assert rows[0].surviving_fraction == 1.0
+        assert rows[1].surviving_fraction < 1.0

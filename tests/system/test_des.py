@@ -1,0 +1,101 @@
+"""Tests for the discrete-event kernel and event log."""
+
+import pytest
+
+from repro.system.des import EventLog, Simulator
+
+
+class TestSimulator:
+    def test_events_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_fifo_tie_breaking(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "first")
+        sim.schedule(1.0, order.append, "second")
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(5.0, fired.append, "late")
+        sim.run(until=2.0)
+        assert fired == ["early"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_events_scheduling_events(self):
+        sim = Simulator()
+        times = []
+
+        def recurring(remaining):
+            times.append(sim.now)
+            if remaining:
+                sim.schedule(1.0, recurring, remaining - 1)
+
+        sim.schedule(0.5, recurring, 3)
+        sim.run()
+        assert times == [0.5, 1.5, 2.5, 3.5]
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step()
+        assert fired == [1]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_pending_count(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestEventLog:
+    def test_counters(self):
+        log = EventLog()
+        log.count("x")
+        log.count("x", 4)
+        assert log.counters["x"] == 5
+
+    def test_accumulators(self):
+        log = EventLog()
+        log.accumulate("latency", 0.5)
+        log.accumulate("latency", 0.25)
+        assert log.accumulators["latency"] == pytest.approx(0.75)
+
+    def test_trace_and_dump(self):
+        log = EventLog()
+        log.record(1.0, "puf", "evaluation done")
+        log.count("events")
+        report = log.dump()
+        assert "events" in report
+        assert len(log.trace) == 1

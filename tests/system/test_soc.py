@@ -1,0 +1,178 @@
+"""Tests for memory, CPU, peripheral, power, channel, and the full SoC."""
+
+import numpy as np
+import pytest
+
+from repro.puf import ArbiterPUF
+from repro.system.channel import Channel
+from repro.system.cpu import ClockCounter, ProcessorModel
+from repro.system.memory import DeviceMemory, RelocatingCompromisedMemory
+from repro.system.peripheral import STATUS_DONE, STATUS_IDLE, PUFPeripheral
+from repro.system.power import PowerProfile, PowerTracker
+from repro.system.soc import DeviceSoC, SoCConfig
+
+
+class TestMemory:
+    def test_deterministic_contents(self):
+        a = DeviceMemory(4096, seed=1)
+        b = DeviceMemory(4096, seed=1)
+        assert a.image() == b.image()
+
+    def test_chunk_reads(self):
+        memory = DeviceMemory(4096, chunk_size=256, seed=2)
+        assert memory.n_chunks == 16
+        assert memory.read_chunk(3) == memory.image()[768:1024]
+        with pytest.raises(ValueError):
+            memory.read_chunk(16)
+
+    def test_infection_changes_contents(self):
+        memory = DeviceMemory(4096, seed=3)
+        clean = memory.image()
+        memory.infect(address=0, length=512)
+        assert memory.image() != clean
+
+    def test_write_bounds(self):
+        memory = DeviceMemory(1024, chunk_size=256)
+        with pytest.raises(ValueError):
+            memory.write(1020, b"too long")
+
+    def test_relocating_memory_hides_malware_but_pays_time(self):
+        clean = DeviceMemory(4096, seed=4)
+        compromised = RelocatingCompromisedMemory(
+            clean.image(), chunk_size=256, infected_chunks={0, 1}
+        )
+        # Hashes match the clean image...
+        assert compromised.read_chunk(0) == clean.read_chunk(0)
+        # ...but infected chunks cost extra time.
+        assert compromised.chunk_read_time_for(0) > compromised.chunk_read_time_for(5)
+
+
+class TestProcessor:
+    def test_time_scaling(self):
+        cpu = ProcessorModel(frequency_hz=100e6)
+        assert cpu.hash_time(2048) > cpu.hash_time(256)
+        assert cpu.mac_time(64) > 0
+        assert cpu.cipher_time(64) == pytest.approx(
+            cpu.cycles_per_cipher_block * 8 / 100e6
+        )
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorModel().seconds(-1)
+
+    def test_clock_counter_detects_tampering(self):
+        counter = ClockCounter(ProcessorModel())
+        honest = counter.measure()
+        tampered = counter.measure(tamper_factor=1.3)
+        assert tampered > honest
+
+
+class TestPeripheral:
+    def test_full_driver_sequence(self):
+        puf = ArbiterPUF(n_stages=64, seed=1)
+        peripheral = PUFPeripheral(puf)
+        challenge = np.random.default_rng(0).integers(0, 2, 64, dtype=np.uint8)
+        response, elapsed = peripheral.evaluate(challenge)
+        assert response.size == 1
+        assert elapsed > 0
+        assert peripheral.log.counters["puf.evaluations"] == 1
+
+    def test_status_transitions(self):
+        puf = ArbiterPUF(n_stages=64, seed=2)
+        peripheral = PUFPeripheral(puf)
+        assert peripheral.status() == STATUS_IDLE
+        peripheral.write_challenge(bytes(8))
+        peripheral.start()
+        assert peripheral.status() == STATUS_DONE
+        peripheral.read_response()
+        assert peripheral.status() == STATUS_IDLE
+
+    def test_read_before_done_rejected(self):
+        peripheral = PUFPeripheral(ArbiterPUF(n_stages=64, seed=3))
+        with pytest.raises(RuntimeError):
+            peripheral.read_response()
+
+    def test_challenge_width_checked(self):
+        peripheral = PUFPeripheral(ArbiterPUF(n_stages=64, seed=4))
+        with pytest.raises(ValueError):
+            peripheral.write_challenge(bytes(4))
+
+
+class TestPower:
+    def test_energy_accounting(self):
+        tracker = PowerTracker({"cpu": PowerProfile(idle_w=0.01, active_w=0.1)})
+        tracker.record_active("cpu", 2.0)
+        tracker.close(10.0)
+        # 2 s active at 0.1 W + 8 s idle at 0.01 W.
+        assert tracker.energy_joules("cpu") == pytest.approx(0.28)
+        assert tracker.average_power_w() == pytest.approx(0.028)
+
+    def test_validation(self):
+        tracker = PowerTracker()
+        with pytest.raises(KeyError):
+            tracker.record_active("gpu", 1.0)
+        with pytest.raises(ValueError):
+            tracker.record_active("cpu", -1.0)
+        with pytest.raises(ValueError):
+            PowerProfile(idle_w=0.5, active_w=0.1)
+
+
+class TestChannel:
+    def test_latency_and_stats(self):
+        channel = Channel(base_latency_s=1e-3, jitter_s=0.0,
+                          bandwidth_bytes_per_s=1e6)
+        delivered, latency = channel.send(b"x" * 1000)
+        assert delivered == b"x" * 1000
+        assert latency == pytest.approx(2e-3)
+        assert channel.stats.messages == 1
+        assert channel.stats.bytes_carried == 1000
+
+    def test_eavesdropper_sees_messages(self):
+        channel = Channel()
+        seen = []
+        channel.eavesdropper = seen.append
+        channel.send(b"secret")
+        assert seen == [b"secret"]
+
+    def test_tamper_hook(self):
+        channel = Channel()
+        channel.tamper = lambda m: m + b"!"
+        delivered, __ = channel.send(b"msg")
+        assert delivered == b"msg!"
+
+    def test_transcript_records_originals(self):
+        channel = Channel()
+        channel.tamper = lambda m: b"evil"
+        channel.send(b"original")
+        assert channel.transcript == [b"original"]
+
+
+class TestDeviceSoC:
+    @pytest.fixture(scope="class")
+    def soc(self):
+        return DeviceSoC(SoCConfig(seed=7, memory_size=16 * 1024))
+
+    def test_strong_puf_via_peripheral(self, soc):
+        challenge = np.random.default_rng(1).integers(0, 2, 64, dtype=np.uint8)
+        response, elapsed = soc.strong_puf_evaluate(challenge)
+        assert response.size == soc.strong_puf.response_bits
+        assert elapsed > 0
+
+    def test_weak_puf_read(self, soc):
+        bits, elapsed = soc.weak_puf_read(measurement=0)
+        assert bits.size == soc.weak_puf.n_addresses
+        assert elapsed > 0
+
+    def test_firmware_hash_deterministic(self, soc):
+        h1, t1 = soc.firmware_hash()
+        h2, __ = soc.firmware_hash()
+        assert h1 == h2
+        assert t1 > 0
+
+    def test_clock_count_measure(self, soc):
+        assert soc.measure_clock_count() > 0
+
+    def test_power_report(self, soc):
+        report = soc.power_report()
+        assert report["cpu"] > 0
+        assert set(report) == set(soc.power.profiles)

@@ -1,0 +1,116 @@
+"""Cross-cutting property-based tests (hypothesis) on library invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.fuzzy_extractor import ConcatenatedCode
+from repro.crypto.kdf import hkdf
+from repro.crypto.mac import hmac_sha256, verify_mac
+from repro.crypto.modes import AuthenticatedCipher, AuthenticationError
+from repro.metrics.hamming import binary_entropy
+from repro.metrics.nist import run_suite
+from repro.utils.bits import (
+    fractional_hamming_distance,
+    hamming_distance,
+    xor_bits,
+)
+
+bits_arrays = st.lists(st.integers(0, 1), min_size=1, max_size=128)
+
+
+class TestHammingInvariants:
+    @given(bits_arrays, bits_arrays, bits_arrays)
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, a, b, c):
+        n = min(len(a), len(b), len(c))
+        a, b, c = a[:n], b[:n], c[:n]
+        assert hamming_distance(a, c) <= \
+            hamming_distance(a, b) + hamming_distance(b, c)
+
+    @given(bits_arrays, bits_arrays)
+    @settings(max_examples=40)
+    def test_distance_equals_xor_weight(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert hamming_distance(a, b) == int(np.sum(xor_bits(a, b)))
+
+    @given(bits_arrays)
+    @settings(max_examples=30)
+    def test_fractional_bounded(self, a):
+        flipped = [1 - x for x in a]
+        assert fractional_hamming_distance(a, flipped) == 1.0
+
+
+class TestEntropyInvariants:
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=50)
+    def test_entropy_peak_at_half(self, p):
+        h = float(binary_entropy(np.array([p]))[0])
+        assert h <= 1.0
+        assert h <= float(binary_entropy(np.array([0.5]))[0]) + 1e-12
+
+
+class TestCryptoInvariants:
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    @settings(max_examples=30)
+    def test_mac_verifies_own_output(self, key, message):
+        tag = hmac_sha256(key, message)
+        assert verify_mac(message, key, tag)
+
+    @given(st.binary(min_size=1, max_size=32), st.binary(min_size=1, max_size=32))
+    @settings(max_examples=30)
+    def test_distinct_keys_distinct_macs(self, key_a, key_b):
+        if key_a == key_b:
+            return
+        assert hmac_sha256(key_a, b"m") != hmac_sha256(key_b, b"m")
+
+    @given(st.binary(min_size=1, max_size=16), st.integers(1, 64))
+    @settings(max_examples=30)
+    def test_hkdf_length_contract(self, ikm, length):
+        assert len(hkdf(ikm, length)) == length
+
+    @given(st.binary(min_size=1, max_size=32))
+    @settings(max_examples=20)
+    def test_drbg_streams_repeatable(self, seed):
+        assert HmacDrbg(seed).generate(48) == HmacDrbg(seed).generate(48)
+
+    @given(st.binary(max_size=96), st.binary(min_size=32, max_size=32))
+    @settings(max_examples=25)
+    def test_aead_round_trip(self, plaintext, key):
+        aead = AuthenticatedCipher(key)
+        assert aead.decrypt(aead.encrypt(plaintext, nonce=b"pn")) == plaintext
+
+    @given(st.binary(min_size=8, max_size=64), st.integers(0, 7))
+    @settings(max_examples=25)
+    def test_aead_any_single_bitflip_rejected(self, plaintext, bit):
+        aead = AuthenticatedCipher(bytes(range(32)))
+        sealed = bytearray(aead.encrypt(plaintext, nonce=b"pn"))
+        sealed[len(sealed) // 2] ^= 1 << bit
+        with pytest.raises(AuthenticationError):
+            aead.decrypt(bytes(sealed))
+
+
+class TestEccInvariants:
+    @given(st.integers(0, 2**16 - 1), st.floats(0.0, 0.04))
+    @settings(max_examples=15, deadline=None)
+    def test_concatenated_code_corrects_low_ber(self, message_int, ber):
+        code = ConcatenatedCode(bch_m=5, bch_t=3, repetition=3)
+        message = np.array([(message_int >> i) & 1 for i in range(16)],
+                           dtype=np.uint8)
+        encoded = code.encode(message)
+        rng = np.random.default_rng(message_int)
+        noisy = encoded ^ (rng.random(encoded.size) < ber).astype(np.uint8)
+        assert np.array_equal(code.decode(noisy), message)
+
+
+class TestNistSuiteInvariants:
+    @given(st.integers(0, 2**32))
+    @settings(max_examples=10, deadline=None)
+    def test_p_values_in_range(self, seed):
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, 2, 512, dtype=np.uint8)
+        for result in run_suite(stream):
+            assert 0.0 <= result.p_value <= 1.0

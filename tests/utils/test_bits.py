@@ -1,0 +1,121 @@
+"""Unit + property tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import bits as B
+
+
+class TestIntConversions:
+    def test_round_trip_small(self):
+        assert B.int_from_bits(B.bits_from_int(5, 4)) == 5
+
+    def test_zero_width(self):
+        assert B.bits_from_int(0, 0).size == 0
+
+    def test_msb_first(self):
+        assert B.bits_from_int(4, 3).tolist() == [1, 0, 0]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            B.bits_from_int(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            B.bits_from_int(-1, 4)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_round_trip_property(self, value):
+        assert B.int_from_bits(B.bits_from_int(value, 64)) == value
+
+
+class TestByteConversions:
+    def test_round_trip(self):
+        data = b"\x00\xff\xa5"
+        assert B.bytes_from_bits(B.bits_from_bytes(data)) == data
+
+    def test_empty(self):
+        assert B.bits_from_bytes(b"").size == 0
+        assert B.bytes_from_bits([]) == b""
+
+    def test_non_multiple_of_eight_rejected(self):
+        with pytest.raises(ValueError):
+            B.bytes_from_bits([1, 0, 1])
+
+    @given(st.binary(max_size=64))
+    def test_round_trip_property(self, data):
+        assert B.bytes_from_bits(B.bits_from_bytes(data)) == data
+
+
+class TestHamming:
+    def test_weight(self):
+        assert B.hamming_weight([1, 0, 1, 1]) == 3
+
+    def test_distance_identical(self):
+        assert B.hamming_distance([0, 1, 1], [0, 1, 1]) == 0
+
+    def test_distance_opposite(self):
+        assert B.hamming_distance([0, 0], [1, 1]) == 2
+
+    def test_distance_length_mismatch(self):
+        with pytest.raises(ValueError):
+            B.hamming_distance([0], [0, 1])
+
+    def test_fractional(self):
+        assert B.fractional_hamming_distance([0, 0, 1, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_fractional_empty_rejected(self):
+        with pytest.raises(ValueError):
+            B.fractional_hamming_distance([], [])
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=100))
+    def test_distance_to_self_is_zero(self, bits):
+        assert B.hamming_distance(bits, bits) == 0
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=50),
+        st.lists(st.integers(0, 1), min_size=1, max_size=50),
+    )
+    def test_symmetry(self, a, b):
+        if len(a) != len(b):
+            return
+        assert B.hamming_distance(a, b) == B.hamming_distance(b, a)
+
+
+class TestMisc:
+    def test_random_bits_deterministic(self):
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        assert np.array_equal(B.random_bits(rng1, 100), B.random_bits(rng2, 100))
+
+    def test_random_bits_binary(self):
+        bits = B.random_bits(np.random.default_rng(0), 1000)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_flip_bits(self):
+        assert B.flip_bits([0, 0, 0], [1]).tolist() == [0, 1, 0]
+
+    def test_flip_does_not_mutate(self):
+        original = np.array([0, 0], dtype=np.uint8)
+        B.flip_bits(original, [0])
+        assert original.tolist() == [0, 0]
+
+    def test_majority_vote(self):
+        votes = [[1, 0, 1], [1, 1, 0], [0, 0, 1]]
+        assert B.majority_vote(votes).tolist() == [1, 0, 1]
+
+    def test_xor(self):
+        assert B.xor_bits([1, 0, 1], [1, 1, 0]).tolist() == [0, 1, 1]
+
+    def test_bits_to_string(self):
+        assert B.bits_to_string([1, 0, 1]) == "101"
+
+    def test_reject_non_binary(self):
+        with pytest.raises(ValueError):
+            B.hamming_weight([0, 2])
+
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=40))
+    def test_xor_self_is_zero(self, bits):
+        assert B.hamming_weight(B.xor_bits(bits, bits)) == 0

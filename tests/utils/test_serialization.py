@@ -1,0 +1,41 @@
+"""Tests for protocol message serialization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.serialization import decode_fields, encode_fields, from_hex, to_hex
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        fields = [b"hello", b"", b"\x00\x01"]
+        assert decode_fields(encode_fields(fields)) == fields
+
+    def test_empty_sequence(self):
+        assert decode_fields(encode_fields([])) == []
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            encode_fields(["str"])  # type: ignore[list-item]
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            decode_fields(b"\x00\x00")
+
+    def test_truncated_body_rejected(self):
+        with pytest.raises(ValueError):
+            decode_fields(b"\x00\x00\x00\x05ab")
+
+    def test_injective(self):
+        # [b"ab"] and [b"a", b"b"] must encode differently (MAC safety).
+        assert encode_fields([b"ab"]) != encode_fields([b"a", b"b"])
+
+    @given(st.lists(st.binary(max_size=32), max_size=8))
+    def test_round_trip_property(self, fields):
+        assert decode_fields(encode_fields(fields)) == fields
+
+
+class TestHex:
+    def test_round_trip(self):
+        assert from_hex(to_hex(b"\xde\xad")) == b"\xde\xad"
