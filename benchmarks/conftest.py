@@ -3,9 +3,55 @@
 Every file regenerates one table/figure/claim from the paper (see the
 per-experiment index in DESIGN.md) and prints the rows it reports; run
 with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+
+``--bench-json [PATH]`` dumps per-test wall-clock timings (the `call`
+phase of every benchmark test) as JSON — ``BENCH_engine.json`` by
+default — so CI can archive the perf trajectory PR-over-PR.
 """
 
+import json
+
 import pytest
+
+DEFAULT_BENCH_JSON = "BENCH_engine.json"
+
+_timings = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        nargs="?",
+        const=DEFAULT_BENCH_JSON,
+        default=None,
+        metavar="PATH",
+        help=(
+            "dump per-test wall-clock timings (seconds) to PATH "
+            f"(default: {DEFAULT_BENCH_JSON})"
+        ),
+    )
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call":
+        _timings[report.nodeid] = {
+            "duration_s": round(report.duration, 6),
+            "outcome": report.outcome,
+        }
+
+
+def pytest_sessionfinish(session):
+    path = session.config.getoption("--bench-json", default=None)
+    if not path or not _timings:
+        return
+    payload = {
+        "tests": dict(sorted(_timings.items())),
+        "total_s": round(sum(t["duration_s"] for t in _timings.values()), 6),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def print_table(title: str, header: list, rows: list) -> None:

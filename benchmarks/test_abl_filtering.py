@@ -8,7 +8,6 @@ voting, dark-bit masking) from :mod:`repro.quality.compensation`.
 """
 
 import numpy as np
-import pytest
 
 from repro.puf import PUFEnvironment, ROPUF, SRAMPUF
 from repro.quality.compensation import DarkBitMask, MajorityVoteReader

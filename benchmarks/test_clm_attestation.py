@@ -10,7 +10,6 @@ Claims reproduced:
 * attestation wall-clock scales linearly with memory size.
 """
 
-import pytest
 
 from repro.protocols.attestation import AttestationDevice, AttestationVerifier
 from repro.system.soc import DeviceSoC, SoCConfig

@@ -8,7 +8,6 @@ quality table.
 """
 
 import numpy as np
-import pytest
 
 from repro.metrics import quality_report
 from repro.puf.photonic_strong import PhotonicStrongPUF

@@ -1,73 +1,71 @@
-"""Fleet-scale authentication: HSC-IoT vs the CRP-database baseline.
+"""Fleet-scale batch authentication on the compiled engine.
 
-The paper's Sec. III-A scalability argument: a classic verifier stores a
-large CRP database per device and *consumes* it, while the HSC-IoT
-verifier keeps exactly one CRP per device forever.  This example
-provisions a small device fleet and compares verifier storage and
-lifetime across many authentication rounds, plus the timing/energy cost
-of one session on the device.
+The paper's Sec. III-A scalability argument, taken to fleet scale: the
+HSC-IoT verifier keeps exactly one rolling CRP per device, and the
+:class:`BatchVerifier` serves a whole fleet's mutual-auth sessions per
+call, with the photonic interrogations routed through the compiled
+vectorized engine.  The classic CRP-database baseline (Suh et al. [16])
+is provisioned alongside for the storage comparison.
 
 Run:  python examples/authentication_fleet.py
 """
 
-from repro.protocols.mutual_auth import (
-    CRPDatabaseVerifier,
-    provision,
-    run_session,
-)
-from repro.system.channel import Channel
+import time
+
+from repro.fleet import provision_fleet
+from repro.protocols.mutual_auth import CRPDatabaseVerifier
 from repro.system.soc import DeviceSoC, SoCConfig
 
 
 def main() -> None:
-    fleet_size = 4
-    sessions_per_device = 8
+    fleet_size = 6
+    rounds = 8
 
-    print(f"fleet of {fleet_size} devices, "
-          f"{sessions_per_device} authentications each\n")
+    print(f"fleet of {fleet_size} devices, {rounds} authentication rounds\n")
 
-    print("=== HSC-IoT (paper Sec. III-A): one rolling CRP per device ===")
-    hsc_storage = 0
-    for device_index in range(fleet_size):
-        soc = DeviceSoC(SoCConfig(seed=100 + device_index,
-                                  memory_size=8 * 1024))
-        device, verifier = provision(soc, seed=100 + device_index)
-        channel = Channel(seed=device_index)
-        successes = 0
-        for __ in range(sessions_per_device):
-            successes += int(run_session(device, verifier,
-                                         channel=channel).success)
-        hsc_storage += verifier.storage_bytes
-        print(f"device {device_index}: {successes}/{sessions_per_device} ok, "
-              f"verifier stores {verifier.storage_bytes} B, "
-              f"channel carried {channel.stats.bytes_carried} B")
-    print(f"fleet verifier storage: {hsc_storage} B (constant in sessions)")
+    print("=== enrollment (rolling CRP + 64-CRP spot pool per device) ===")
+    start = time.perf_counter()
+    registry, devices, verifier = provision_fleet(
+        fleet_size, seed=100, n_spot_crps=64,
+        challenge_bits=32, n_stages=6, response_bits=16,
+    )
+    elapsed = time.perf_counter() - start
+    print(f"enrolled {fleet_size} devices in {elapsed:.2f} s "
+          f"({fleet_size * 64 / elapsed:.0f} CRPs/s harvested, batched)")
+    print(f"verifier storage: {registry.storage_bytes} B total "
+          f"(constant in session count)\n")
 
-    print("\n=== CRP-database baseline (Suh et al. [16]) ===")
-    database_storage = 0
-    for device_index in range(fleet_size):
-        soc = DeviceSoC(SoCConfig(seed=100 + device_index,
-                                  memory_size=8 * 1024))
-        database = CRPDatabaseVerifier(soc, n_crps=sessions_per_device,
-                                       seed=200 + device_index)
-        successes = sum(
-            int(database.authenticate(soc)) for __ in range(sessions_per_device)
-        )
-        database_storage += database.storage_bytes
-        print(f"device {device_index}: {successes}/{sessions_per_device} ok, "
-              f"verifier stores {database.storage_bytes} B, "
-              f"{database.remaining} CRPs left (then re-enrollment)")
-    print(f"fleet verifier storage: {database_storage} B "
-          f"(grows with the session budget)")
+    print("=== batch mutual authentication (Fig. 4, whole fleet per call) ===")
+    start = time.perf_counter()
+    accepted = 0
+    for _ in range(rounds):
+        report = verifier.authenticate_fleet(devices)
+        accepted += report.n_accepted
+    elapsed = time.perf_counter() - start
+    total = fleet_size * rounds
+    print(f"{accepted}/{total} sessions ok in {elapsed * 1e3:.0f} ms "
+          f"-> {total / elapsed:.0f} auths/s")
+    for device in devices[:2]:
+        record = registry.record(device.device_id)
+        print(f"  {device.device_id}: {record.sessions} sessions, "
+              f"verifier stores {record.storage_bytes} B")
 
-    print("\n=== per-session device cost (HSC-IoT) ===")
-    soc = DeviceSoC(SoCConfig(seed=300, memory_size=8 * 1024))
-    device, verifier = provision(soc, seed=300)
-    record = run_session(device, verifier)
-    print(f"device busy time: {record.device_time_s * 1e3:.3f} ms")
-    energy = soc.power_report()
-    for component, joules in sorted(energy.items()):
-        print(f"  {component:<12} {joules * 1e3:8.4f} mJ")
+    print("\n=== spot check (32 batched CRPs per device, one engine pass) ===")
+    start = time.perf_counter()
+    spot = verifier.spot_check(devices, k=32)
+    elapsed = time.perf_counter() - start
+    checks = fleet_size * 32
+    print(f"{spot.n_accepted}/{fleet_size} devices accepted, "
+          f"max fractional HD {spot.fractional_hd.max():.3f} "
+          f"(threshold {spot.threshold})")
+    print(f"{checks} CRP verifications in {elapsed * 1e3:.0f} ms "
+          f"-> {checks / elapsed:.0f} auths/s")
+
+    print("\n=== CRP-database baseline (Suh et al. [16]) for storage ===")
+    soc = DeviceSoC(SoCConfig(seed=100, memory_size=8 * 1024))
+    database = CRPDatabaseVerifier(soc, n_crps=rounds, seed=200)
+    print(f"one device, {rounds}-session budget: {database.storage_bytes} B "
+          f"(grows with the session budget; the registry above does not)")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ Subpackages
 - :mod:`repro.accelerator` — neuromorphic photonic accelerator model
 - :mod:`repro.system` — discrete-event system/SoC model
 - :mod:`repro.protocols` — mutual authentication, attestation, NN service, AKA
+- :mod:`repro.fleet` — fleet-scale enrollment registry + batch authentication
 
 Quickstart
 ----------
@@ -22,6 +23,7 @@ Quickstart
 True
 """
 
+from repro.fleet import BatchVerifier, FleetDevice, FleetRegistry, provision_fleet
 from repro.protocols import provision, run_session
 from repro.puf import (
     ArbiterPUF,
@@ -33,11 +35,15 @@ from repro.puf import (
 )
 from repro.system import DeviceSoC, SoCConfig
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "provision",
     "run_session",
+    "BatchVerifier",
+    "FleetDevice",
+    "FleetRegistry",
+    "provision_fleet",
     "ArbiterPUF",
     "PhotonicStrongPUF",
     "PhotonicWeakPUF",

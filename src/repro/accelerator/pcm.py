@@ -11,7 +11,6 @@ and conductance drift over time.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 

@@ -8,7 +8,6 @@ entirely — these estimators quantify what the attacker faces either way.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

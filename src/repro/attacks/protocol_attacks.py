@@ -11,7 +11,6 @@ test-suite and benches can assert the defence holds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -21,7 +21,6 @@ classic PUF key-derivation chain the paper's Fig. 1 labels
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

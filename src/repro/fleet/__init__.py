@@ -1,0 +1,29 @@
+"""Fleet-scale enrollment and batch authentication.
+
+Built on the compiled photonic engine: enrollment harvests CRPs through
+``evaluate_batch`` in single vectorized passes, and :class:`BatchVerifier`
+serves many mutual-auth-style sessions (or Hamming-threshold spot checks)
+per call.  See ``registry`` for the verifier-side state and ``verifier``
+for the protocol.
+"""
+
+from repro.fleet.registry import DeviceRecord, FleetRegistry
+from repro.fleet.verifier import (
+    AuthResponse,
+    BatchAuthReport,
+    BatchVerifier,
+    FleetDevice,
+    SpotCheckReport,
+    provision_fleet,
+)
+
+__all__ = [
+    "DeviceRecord",
+    "FleetRegistry",
+    "AuthResponse",
+    "BatchAuthReport",
+    "BatchVerifier",
+    "FleetDevice",
+    "SpotCheckReport",
+    "provision_fleet",
+]

@@ -1,0 +1,145 @@
+"""Fleet enrollment registry.
+
+The verifier-side state for fleet-scale authentication.  Each enrolled
+device contributes one :class:`DeviceRecord` holding
+
+* the rolling CRP of the HSC-IoT scheme (paper Sec. III-A): exactly one
+  current response per device, updated atomically after every successful
+  session — the storage argument against CRP-database verifiers;
+* the device's integrity reference (firmware hash);
+* optionally, a pre-harvested spot-check CRP pool: ``n_spot_crps``
+  challenge/response pairs measured at enrollment through the compiled
+  engine's batch path in a single vectorized pass, burned one index at a
+  time by :meth:`~repro.fleet.verifier.BatchVerifier.spot_check`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.protocols.mutual_auth import AuthenticationFailure
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class DeviceRecord:
+    """Verifier-side state for one enrolled device."""
+
+    device_id: str
+    challenge_bits: int
+    current_response: np.ndarray
+    firmware_hash: bytes
+    expected_clock_count: int
+    crp_challenges: np.ndarray
+    crp_responses: np.ndarray
+    crp_used: np.ndarray
+    sessions: int = 0
+
+    @property
+    def spot_crps_left(self) -> int:
+        return int(np.count_nonzero(~self.crp_used))
+
+    @property
+    def storage_bytes(self) -> int:
+        """Rolling CRP + integrity reference + spot pool, in bytes."""
+        rolling = math.ceil(self.current_response.size / 8)
+        pool = math.ceil(self.crp_challenges.size / 8) + math.ceil(
+            self.crp_responses.size / 8
+        )
+        return rolling + len(self.firmware_hash) + pool
+
+
+class FleetRegistry:
+    """Enrollment registry: device_id -> :class:`DeviceRecord`."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, DeviceRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, device_id: str) -> bool:
+        return device_id in self._records
+
+    def device_ids(self) -> List[str]:
+        return list(self._records)
+
+    def enroll(self, device, n_spot_crps: int = 0, seed: int = 0,
+               measurement: int = 0) -> DeviceRecord:
+        """Enroll one device (duck-typed: id, PUF, response, firmware hash).
+
+        The spot-check pool is harvested with a single ``evaluate_batch``
+        call, which the photonic strong PUF serves through the compiled
+        engine — enrollment cost stays flat as ``n_spot_crps`` grows into
+        the hundreds.
+        """
+        if device.device_id in self._records:
+            raise ValueError(f"device {device.device_id!r} already enrolled")
+        puf = device.puf
+        if n_spot_crps > 0:
+            pool_rng = derive_rng(seed, "fleet-enroll", device.device_id)
+            challenges = pool_rng.integers(
+                0, 2, size=(n_spot_crps, puf.challenge_bits), dtype=np.uint8
+            )
+            responses = np.asarray(
+                puf.evaluate_batch(challenges, measurement=measurement),
+                dtype=np.uint8,
+            )
+        else:
+            challenges = np.zeros((0, puf.challenge_bits), dtype=np.uint8)
+            responses = np.zeros((0, puf.response_bits), dtype=np.uint8)
+        record = DeviceRecord(
+            device_id=device.device_id,
+            challenge_bits=int(puf.challenge_bits),
+            current_response=np.asarray(device.current_response, dtype=np.uint8),
+            firmware_hash=bytes(device.firmware_hash),
+            expected_clock_count=int(device.clock_count),
+            crp_challenges=challenges,
+            crp_responses=responses,
+            crp_used=np.zeros(len(challenges), dtype=bool),
+        )
+        self._records[device.device_id] = record
+        return record
+
+    def record(self, device_id: str) -> DeviceRecord:
+        try:
+            return self._records[device_id]
+        except KeyError:
+            raise AuthenticationFailure(
+                f"device {device_id!r} is not enrolled"
+            ) from None
+
+    def records(self, device_ids: Iterable[str]) -> List[DeviceRecord]:
+        return [self.record(device_id) for device_id in device_ids]
+
+    def response_matrix(self, device_ids: Iterable[str]) -> np.ndarray:
+        """(n_devices, response_bits) stacked current responses."""
+        return np.vstack([self.record(d).current_response for d in device_ids])
+
+    def roll(self, device_id: str, new_response: np.ndarray) -> None:
+        """Atomically advance one device's rolling CRP."""
+        record = self.record(device_id)
+        record.current_response = np.asarray(new_response, dtype=np.uint8)
+        record.sessions += 1
+
+    def draw_spot_indices(self, device_id: str, k: int,
+                          rng: np.random.Generator) -> np.ndarray:
+        """Pick ``k`` unused spot-check indices and burn them (anti-replay)."""
+        record = self.record(device_id)
+        unused = np.flatnonzero(~record.crp_used)
+        if unused.size < k:
+            raise AuthenticationFailure(
+                f"device {device_id!r} has {unused.size} spot CRPs left, "
+                f"{k} requested"
+            )
+        chosen = rng.choice(unused, size=k, replace=False)
+        record.crp_used[chosen] = True
+        return np.sort(chosen)
+
+    @property
+    def storage_bytes(self) -> int:
+        return sum(record.storage_bytes for record in self._records.values())

@@ -1,0 +1,359 @@
+"""Fleet-scale batch authentication on top of the compiled engine.
+
+:class:`BatchVerifier` serves many HSC-IoT-style (paper Fig. 4) mutual
+authentications per call:
+
+* :meth:`authenticate_fleet` runs one full rolling-CRP session for every
+  device in one call — per-device message framing, MACs, integrity
+  evidence (H XOR CC) and anti-replay checks mirror
+  :mod:`repro.protocols.mutual_auth` (the field encoding/checking helpers
+  are shared), including its two-phase commit: the registry rolls a
+  device's CRP only after that device accepted the confirmation.  The
+  response unmasking and CRP rollover run as vectorized operations over
+  the stacked ``(fleet, response_bits)`` matrices;
+* :meth:`spot_check` re-measures ``k`` enrollment CRPs per device in a
+  single ``evaluate_batch`` call (the compiled engine's batch path) and
+  accepts within a fractional-Hamming-distance threshold, vectorized over
+  the whole fleet.
+
+Device-side counterpart is :class:`FleetDevice`; :func:`provision_fleet`
+builds a whole enrolled fleet from one photonic die family.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.crypto.mac import mac as compute_mac
+from repro.crypto.mac import verify_mac
+from repro.fleet.registry import FleetRegistry
+from repro.protocols.mutual_auth import (
+    AuthenticationFailure,
+    _pad_bits,
+    check_clock_count,
+    derive_challenge,
+    mask_integrity,
+    unmask_clock_count,
+)
+from repro.puf.photonic_strong import photonic_strong_family
+from repro.utils.bits import bits_from_bytes, xor_bits
+from repro.utils.rng import derive_rng
+from repro.utils.serialization import decode_fields, encode_fields
+
+
+DEFAULT_CLOCK_COUNT = 100_000
+
+
+class FleetDevice:
+    """Device side of the fleet protocol: a strong PUF plus rolling state."""
+
+    def __init__(self, device_id: str, puf, initial_response=None,
+                 firmware_hash: Optional[bytes] = None,
+                 clock_count: int = DEFAULT_CLOCK_COUNT):
+        self.device_id = device_id
+        self.puf = puf
+        self.firmware_hash = firmware_hash or hashlib.sha256(
+            b"fleet-firmware:" + device_id.encode()
+        ).digest()
+        # Reference cycle count of the integrity-measurement routine; a
+        # tampered device runs it slower (Fig. 4's CC evidence).
+        self.clock_count = clock_count
+        self.current_response = (
+            None if initial_response is None
+            else np.asarray(initial_response, dtype=np.uint8)
+        )
+        self._session = 0
+        self._pending = None
+
+    def provision(self, seed: int = 0) -> np.ndarray:
+        """Measure the manufacturing-time response (enrollment secret)."""
+        rng = derive_rng(seed, "fleet-provision", self.device_id)
+        challenge = rng.integers(0, 2, self.puf.challenge_bits, dtype=np.uint8)
+        self.current_response = np.asarray(
+            self.puf.evaluate(challenge), dtype=np.uint8
+        )
+        return self.current_response
+
+    def respond(self, nonce: bytes, tamper_factor: float = 1.0) -> "AuthResponse":
+        """One Fig. 4 device turn: fresh CRP measurement, masked + MAC'd.
+
+        ``tamper_factor`` scales the measured clock count, modelling the
+        slowdown a compromised integrity routine exhibits.
+        """
+        if self.current_response is None:
+            raise AuthenticationFailure(
+                f"device {self.device_id!r} is not provisioned"
+            )
+        challenge = derive_challenge(self.current_response,
+                                     self.puf.challenge_bits)
+        new_response = np.asarray(self.puf.evaluate(challenge), dtype=np.uint8)
+        masked = xor_bits(self.current_response, new_response)
+        integrity = mask_integrity(self.firmware_hash,
+                                   int(self.clock_count * tamper_factor))
+        body = encode_fields([
+            self._session.to_bytes(4, "big"),
+            _pad_bits(masked),
+            integrity,
+            nonce,
+        ])
+        tag = compute_mac(body, _pad_bits(self.current_response))
+        self._pending = (challenge, new_response)
+        return AuthResponse(self.device_id, body, tag)
+
+    def confirm(self, confirmation: bytes, nonce: bytes) -> None:
+        """Check the verifier's mac' and roll the CRP forward."""
+        if self._pending is None:
+            raise AuthenticationFailure("no session in progress")
+        challenge, new_response = self._pending
+        expected = encode_fields([_pad_bits(challenge), nonce])
+        if not verify_mac(expected, _pad_bits(new_response), confirmation):
+            raise AuthenticationFailure("verifier confirmation rejected")
+        self.current_response = new_response
+        self._pending = None
+        self._session += 1
+
+    def spot_responses(self, challenges: np.ndarray,
+                       measurement: Optional[int] = None) -> np.ndarray:
+        """Re-measure a block of challenges in one batched engine pass."""
+        return np.asarray(
+            self.puf.evaluate_batch(challenges, measurement=measurement),
+            dtype=np.uint8,
+        )
+
+
+@dataclass(frozen=True)
+class AuthResponse:
+    """The ``m || mac`` message of one device's session turn."""
+
+    device_id: str
+    body: bytes
+    tag: bytes
+
+
+@dataclass
+class BatchAuthReport:
+    """Outcome of one :meth:`BatchVerifier.authenticate_fleet` call."""
+
+    confirmations: Dict[str, bytes] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_accepted(self) -> int:
+        return len(self.confirmations)
+
+    @property
+    def n_rejected(self) -> int:
+        return len(self.failures)
+
+    @property
+    def accepted_ids(self) -> List[str]:
+        return list(self.confirmations)
+
+
+@dataclass
+class SpotCheckReport:
+    """Outcome of one :meth:`BatchVerifier.spot_check` call."""
+
+    device_ids: List[str]
+    fractional_hd: np.ndarray
+    accepted: np.ndarray
+    threshold: float
+
+    @property
+    def n_accepted(self) -> int:
+        return int(np.count_nonzero(self.accepted))
+
+
+class BatchVerifier:
+    """Verifier serving many mutual-auth sessions per call."""
+
+    def __init__(self, registry: FleetRegistry, seed: int = 0,
+                 clock_tolerance: float = 0.05):
+        self.registry = registry
+        self.seed = seed
+        self.clock_tolerance = clock_tolerance
+        self._nonce_counter = 0
+        # Replay tags and unmasked responses of in-flight sessions only,
+        # per device; both are dropped at finalization (a finalized
+        # session's messages already fail the session-index check), which
+        # keeps verifier memory flat over millions of sessions.
+        self._seen_tags: Dict[str, set] = {}
+        self._pending: Dict[str, np.ndarray] = {}
+
+    def open_round(self, device_ids: Sequence[str]) -> Dict[str, bytes]:
+        """Fresh per-request nonces for every device in the round."""
+        nonces = {}
+        for device_id in device_ids:
+            self.registry.record(device_id)  # fail fast on unknown devices
+            nonce = derive_rng(self.seed, "fleet-nonce",
+                               self._nonce_counter).bytes(16)
+            self._nonce_counter += 1
+            nonces[device_id] = nonce
+        return nonces
+
+    def verify_round(self, responses: Sequence[AuthResponse],
+                     nonces: Dict[str, bytes]) -> BatchAuthReport:
+        """Verify a whole round of device turns in one call.
+
+        MAC, framing and integrity checks run per message (they are
+        byte-level); response unmasking operates on the stacked response
+        matrices.  The registry is NOT rolled here: the new response is
+        parked as pending state and committed by :meth:`finalize` once the
+        device accepted the confirmation — the same two-phase commit as
+        ``AuthVerifier.process_response`` / ``finalize``, so a lost
+        confirmation never desynchronizes the two sides.
+        """
+        report = BatchAuthReport()
+        valid: List[AuthResponse] = []
+        masked_rows: List[np.ndarray] = []
+        stored_rows: List[np.ndarray] = []
+        for response in responses:
+            try:
+                record = self.registry.record(response.device_id)
+                nonce = nonces.get(response.device_id)
+                if nonce is None:
+                    raise AuthenticationFailure("no nonce issued this round")
+                seen = self._seen_tags.setdefault(response.device_id, set())
+                if bytes(response.tag) in seen:
+                    raise AuthenticationFailure("replayed message")
+                if not verify_mac(response.body,
+                                  _pad_bits(record.current_response),
+                                  response.tag):
+                    raise AuthenticationFailure("device MAC rejected")
+                seen.add(bytes(response.tag))
+                session_raw, masked, integrity, echoed = decode_fields(
+                    response.body
+                )
+                if int.from_bytes(session_raw, "big") != record.sessions:
+                    raise AuthenticationFailure("session index mismatch")
+                if echoed != nonce:
+                    raise AuthenticationFailure("nonce mismatch (replay or delay)")
+                clock_count = unmask_clock_count(integrity,
+                                                 record.firmware_hash)
+                check_clock_count(clock_count, record.expected_clock_count,
+                                  self.clock_tolerance)
+            except AuthenticationFailure as failure:
+                report.failures[response.device_id] = str(failure)
+                continue
+            bits = bits_from_bytes(masked)[: record.current_response.size]
+            valid.append(response)
+            masked_rows.append(bits)
+            stored_rows.append(record.current_response)
+        if not valid:
+            return report
+        # Vectorized unmasking over the whole round: r_{i+1} = m XOR r_i.
+        new_responses = np.bitwise_xor(
+            np.vstack(masked_rows).astype(np.uint8),
+            np.vstack(stored_rows).astype(np.uint8),
+        )
+        for row, response in enumerate(valid):
+            record = self.registry.record(response.device_id)
+            challenge = derive_challenge(record.current_response,
+                                         record.challenge_bits)
+            confirmation = compute_mac(
+                encode_fields([_pad_bits(challenge),
+                               nonces[response.device_id]]),
+                _pad_bits(new_responses[row]),
+            )
+            self._pending[response.device_id] = new_responses[row]
+            report.confirmations[response.device_id] = confirmation
+        return report
+
+    def finalize(self, device_id: str) -> None:
+        """Commit one device's pending session: roll the CRP atomically."""
+        pending = self._pending.pop(device_id, None)
+        if pending is None:
+            raise AuthenticationFailure(
+                f"device {device_id!r} has no session to finalise"
+            )
+        self.registry.roll(device_id, pending)
+        # A finalized session's messages fail the session-index check, so
+        # their replay tags can be dropped.
+        self._seen_tags.pop(device_id, None)
+
+    def abort(self, device_id: str) -> None:
+        """Discard a pending session (confirmation undeliverable/rejected).
+
+        Both sides stay on the current CRP; the device simply retries.
+        """
+        self._pending.pop(device_id, None)
+
+    def authenticate_fleet(self, devices: Sequence[FleetDevice]) -> BatchAuthReport:
+        """Run one full mutual-auth session for every device, in one call."""
+        nonces = self.open_round([device.device_id for device in devices])
+        responses = [device.respond(nonces[device.device_id])
+                     for device in devices]
+        report = self.verify_round(responses, nonces)
+        for device in devices:
+            confirmation = report.confirmations.get(device.device_id)
+            if confirmation is None:
+                continue
+            try:
+                device.confirm(confirmation, nonces[device.device_id])
+            except AuthenticationFailure as failure:
+                report.failures[device.device_id] = f"confirmation: {failure}"
+                del report.confirmations[device.device_id]
+                self.abort(device.device_id)
+                continue
+            self.finalize(device.device_id)
+        return report
+
+    def spot_check(self, devices: Sequence[FleetDevice], k: int = 8,
+                   threshold: float = 0.25) -> SpotCheckReport:
+        """Burn ``k`` enrollment CRPs per device; one batched pass each.
+
+        Every device answers its ``k`` challenges through a single
+        ``evaluate_batch`` call (compiled engine), and the accept decision
+        is one vectorized fractional-Hamming-distance comparison across
+        the whole fleet.
+        """
+        rng = derive_rng(self.seed, "fleet-spot", self._nonce_counter)
+        self._nonce_counter += 1
+        fresh_rows: List[np.ndarray] = []
+        expected_rows: List[np.ndarray] = []
+        ids: List[str] = []
+        for device in devices:
+            record = self.registry.record(device.device_id)
+            indices = self.registry.draw_spot_indices(device.device_id, k, rng)
+            fresh_rows.append(
+                device.spot_responses(record.crp_challenges[indices])
+            )
+            expected_rows.append(record.crp_responses[indices])
+            ids.append(device.device_id)
+        fresh = np.stack(fresh_rows)        # (fleet, k, response_bits)
+        expected = np.stack(expected_rows)
+        distances = np.mean(fresh != expected, axis=(1, 2))
+        return SpotCheckReport(
+            device_ids=ids,
+            fractional_hd=distances,
+            accepted=distances <= threshold,
+            threshold=threshold,
+        )
+
+
+def provision_fleet(
+    n_devices: int,
+    seed: int = 0,
+    n_spot_crps: int = 0,
+    **puf_kwargs,
+):
+    """Build, provision and enroll a whole fleet from one die family.
+
+    Returns ``(registry, devices, verifier)``.  Every die shares the
+    design of :func:`photonic_strong_family`; enrollment harvests the
+    rolling CRP and the optional spot-check pool through the compiled
+    engine's batch path.
+    """
+    family = photonic_strong_family(n_devices, seed=seed, **puf_kwargs)
+    registry = FleetRegistry()
+    devices: List[FleetDevice] = []
+    for die in range(n_devices):
+        device = FleetDevice(f"dev-{die:06d}", family.device(die))
+        device.provision(seed)
+        registry.enroll(device, n_spot_crps=n_spot_crps, seed=seed)
+        devices.append(device)
+    return registry, devices, BatchVerifier(registry, seed=seed)

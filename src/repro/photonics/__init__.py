@@ -23,10 +23,12 @@ from repro.photonics.constants import (
     REFERENCE_TEMPERATURE_C,
     SILICON_DN_DT,
 )
+from repro.photonics.engine import CompiledMesh, environment_cache_key
 from repro.photonics.mesh import (
     DiscreteTimeRing,
     MixingLayer,
     PassiveScrambler,
+    ScramblingMesh,
 )
 from repro.photonics.receiver import (
     AnalogToDigitalConverter,
@@ -55,9 +57,12 @@ __all__ = [
     "DEFAULT_WAVELENGTH",
     "REFERENCE_TEMPERATURE_C",
     "SILICON_DN_DT",
+    "CompiledMesh",
+    "environment_cache_key",
     "DiscreteTimeRing",
     "MixingLayer",
     "PassiveScrambler",
+    "ScramblingMesh",
     "AnalogToDigitalConverter",
     "Photodiode",
     "ReceiverChain",

@@ -260,3 +260,21 @@ class PassiveScrambler:
         for layer in self.layers:
             matrix = layer.matrix(wavelength, env) @ matrix
         return matrix
+
+    def compile(
+        self, wavelength: float = DEFAULT_WAVELENGTH, env: OpticalEnvironment = _NOMINAL_ENV
+    ):
+        """Freeze this scrambler at one operating point into dense operators.
+
+        Returns a :class:`~repro.photonics.engine.CompiledMesh` whose
+        ``propagate`` agrees with :meth:`propagate` to round-off but runs
+        with no Python loops over channels or batch.
+        """
+        from repro.photonics.engine import CompiledMesh
+
+        return CompiledMesh.compile(self, wavelength, env)
+
+
+# The paper-facing name for the passive scrambling architecture; kept as an
+# alias so call sites can use either vocabulary.
+ScramblingMesh = PassiveScrambler

@@ -108,6 +108,36 @@ class MachZehnderModulator:
             )
         return carrier * wave
 
+    def drive_waveform_batch(self, bits: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`drive_waveform` over a ``(batch, n_bits)`` matrix.
+
+        The per-sample single-pole smoother is the recurrence
+        ``y[i] = (1 - alpha) * y[i - 1] + alpha * w[i]`` seeded with
+        ``y[-1] = w[0]``; ``scipy.signal.lfilter`` evaluates it for every
+        row at once, with the seed supplied as a per-row initial state.
+        """
+        floor = 10.0 ** (-self.extinction_ratio_db / 20.0)
+        bits = np.atleast_2d(np.asarray(bits, dtype=np.uint8))
+        levels = np.where(bits > 0, 1.0, floor)
+        wave = np.repeat(levels, self.samples_per_bit, axis=1).astype(np.float64)
+        if self.rise_samples > 0:
+            from scipy.signal import lfilter
+
+            alpha = 1.0 - math.exp(-1.0 / self.rise_samples)
+            initial = (1.0 - alpha) * wave[:, :1]
+            wave, __ = lfilter([alpha], [1.0, -(1.0 - alpha)], wave,
+                               axis=-1, zi=initial)
+        return wave
+
+    def modulate_batch(self, carrier: np.ndarray, bits: np.ndarray) -> np.ndarray:
+        """Apply many bit streams to one CW carrier: ``(batch, n_samples)``."""
+        wave = self.drive_waveform_batch(bits)
+        if carrier.shape[0] != wave.shape[1]:
+            raise ValueError(
+                f"carrier has {carrier.shape[0]} samples, drive needs {wave.shape[1]}"
+            )
+        return carrier[np.newaxis, :] * wave
+
     def n_samples(self, n_bits: int) -> int:
         """Number of field samples needed to carry ``n_bits``."""
         return n_bits * self.samples_per_bit

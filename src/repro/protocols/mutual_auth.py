@@ -25,8 +25,8 @@ against CRP-database schemes (Suh et al. [16]) that the paper makes;
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -57,6 +57,31 @@ def derive_challenge(response: BitArray, n_bits: int) -> BitArray:
     drbg = HmacDrbg(_pad_bits(response), personalization=b"hsc-iot-challenge")
     raw = drbg.generate(math.ceil(n_bits / 8))
     return bits_from_bytes(raw)[:n_bits]
+
+
+def mask_integrity(firmware_hash: bytes, clock_count: int) -> bytes:
+    """The H XOR CC integrity field of Fig. 4 (shared with the fleet path)."""
+    cc_bytes = clock_count.to_bytes(8, "big")
+    return bytes(h ^ c for h, c in zip(
+        firmware_hash, cc_bytes.rjust(len(firmware_hash), b"\x00")))
+
+
+def unmask_clock_count(integrity: bytes, expected_hash: bytes) -> int:
+    """Recover CC from H XOR CC; reject when the hash does not match."""
+    cc_field = bytes(h ^ i for h, i in zip(expected_hash, integrity))
+    if any(cc_field[:-8]):
+        raise AuthenticationFailure("firmware hash mismatch")
+    return int.from_bytes(cc_field[-8:], "big")
+
+
+def check_clock_count(clock_count: int, expected: int, tolerance: float) -> None:
+    """Fig. 4 tamper evidence: CC must sit within the expected band."""
+    low = expected * (1 - tolerance)
+    high = expected * (1 + tolerance)
+    if not low <= clock_count <= high:
+        raise AuthenticationFailure(
+            f"clock count {clock_count} outside [{low:.0f}, {high:.0f}]"
+        )
 
 
 @dataclass
@@ -92,9 +117,7 @@ class AuthDevice:
         firmware_hash, hash_time = self.soc.firmware_hash()
         clock_count = self.soc.measure_clock_count(tamper_factor)
         masked_response = xor_bits(self.current_response, new_response)
-        cc_bytes = clock_count.to_bytes(8, "big")
-        integrity = bytes(h ^ c for h, c in zip(
-            firmware_hash, cc_bytes.rjust(len(firmware_hash), b"\x00")))
+        integrity = mask_integrity(firmware_hash, clock_count)
         body = encode_fields([
             self._session.to_bytes(4, "big"),
             _pad_bits(masked_response),
@@ -178,17 +201,9 @@ class AuthVerifier:
 
     def _check_integrity(self, integrity: bytes) -> None:
         """Unmask CC with the expected hash; verify both fields."""
-        expected_hash = self.expected_firmware_hash
-        cc_field = bytes(h ^ i for h, i in zip(expected_hash, integrity))
-        clock_count = int.from_bytes(cc_field[-8:], "big")
-        if any(cc_field[:-8]):
-            raise AuthenticationFailure("firmware hash mismatch")
-        low = self.expected_clock_count * (1 - self.clock_tolerance)
-        high = self.expected_clock_count * (1 + self.clock_tolerance)
-        if not low <= clock_count <= high:
-            raise AuthenticationFailure(
-                f"clock count {clock_count} outside [{low:.0f}, {high:.0f}]"
-            )
+        clock_count = unmask_clock_count(integrity, self.expected_firmware_hash)
+        check_clock_count(clock_count, self.expected_clock_count,
+                          self.clock_tolerance)
 
     def finalize(self) -> None:
         """Roll the CRP after the confirmation went out."""

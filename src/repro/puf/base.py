@@ -227,12 +227,26 @@ class PUFFamily:
         challenges: Sequence[Sequence[int]],
         env: PUFEnvironment = NOMINAL_ENV,
         measurement: Optional[int] = 0,
+        batched: bool = True,
     ) -> np.ndarray:
-        """(n_devices, n_challenges * response_bits) response matrix."""
+        """(n_devices, n_challenges * response_bits) response matrix.
+
+        Devices exposing ``evaluate_batch`` (the photonic strong PUF routes
+        it through the compiled engine) answer all challenges in one
+        vectorized pass per die; others fall back to per-challenge
+        evaluation.  Pass ``batched=False`` to force the legacy path, whose
+        noise realisation is shared across challenges of one device.
+        """
+        challenge_matrix = np.vstack([
+            np.asarray(c, dtype=np.uint8) for c in challenges
+        ])
         rows: List[np.ndarray] = []
         for device in self.devices():
-            rows.append(np.concatenate([
-                device.evaluate(np.asarray(c, dtype=np.uint8), env, measurement)
-                for c in challenges
-            ]))
+            if batched and hasattr(device, "evaluate_batch"):
+                responses = device.evaluate_batch(challenge_matrix, env, measurement)
+                rows.append(np.asarray(responses, dtype=np.uint8).reshape(-1))
+            else:
+                rows.append(np.concatenate([
+                    device.evaluate(c, env, measurement) for c in challenge_matrix
+                ]))
         return np.vstack(rows)

@@ -16,15 +16,15 @@ learnable (paper Sec. IV).
 
 from __future__ import annotations
 
-import math
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.photonics.engine import CompiledMesh, environment_cache_key
 from repro.photonics.mesh import PassiveScrambler
 from repro.photonics.receiver import Photodiode
 from repro.photonics.sources import Laser, MachZehnderModulator
-from repro.photonics.variation import DieVariation, OpticalEnvironment, VariationModel
+from repro.photonics.variation import OpticalEnvironment, VariationModel
 from repro.puf.base import NOMINAL_ENV, PUFEnvironment, PUFFamily, StrongPUF
 from repro.utils.bits import BitArray
 from repro.utils.rng import derive_rng
@@ -70,6 +70,7 @@ class PhotonicStrongPUF(StrongPUF):
         noise_mw: float = 5e-4,
         thermal_stabilization: float = 0.995,
         guard_slots: int = 4,
+        use_engine: bool = True,
     ):
         super().__init__()
         if challenge_bits < 8:
@@ -107,6 +108,11 @@ class PhotonicStrongPUF(StrongPUF):
             with_memory=with_memory,
         )
         self.photodiode = Photodiode()
+        # Compiled-engine routing: each (wavelength, environment) operating
+        # point is compiled once into dense operators and reused, so
+        # repeated nominal-condition interrogations pay compilation once.
+        self.use_engine = use_engine
+        self._engine_cache: Dict[Tuple, CompiledMesh] = {}
         # Response bit (slot, adjacent-channel pair) assignments: latest
         # slots first (guard/ring-down region, then trailing challenge
         # slots) so every bit sees a fully mixed reservoir state.
@@ -134,15 +140,36 @@ class PhotonicStrongPUF(StrongPUF):
             detection_noise_scale=env.noise_scale,
         )
 
+    def compiled_mesh(self, env: PUFEnvironment = NOMINAL_ENV) -> CompiledMesh:
+        """The compiled engine for ``env``, compiling on first use.
+
+        The cache key ignores detection noise (added after propagation), so
+        noise-scale sweeps at one temperature reuse a single compilation.
+        """
+        optical = self._optical_env(env)
+        key = environment_cache_key(self.laser.wavelength, optical)
+        engine = self._engine_cache.get(key)
+        if engine is None:
+            engine = CompiledMesh.compile(self.scrambler, self.laser.wavelength,
+                                          optical)
+            self._engine_cache[key] = engine
+        return engine
+
+    def engine_cache_size(self) -> int:
+        """Number of operating points currently compiled."""
+        return len(self._engine_cache)
+
     def slot_energies(
         self,
         challenge: Sequence[int],
         env: PUFEnvironment = NOMINAL_ENV,
         measurement: Optional[int] = None,
+        compiled: Optional[bool] = None,
     ) -> np.ndarray:
         """(n_channels, total_slots) per-slot detected energies (mW)."""
         return self.slot_energies_batch(
-            np.asarray(challenge, dtype=np.uint8)[np.newaxis, :], env, measurement
+            np.asarray(challenge, dtype=np.uint8)[np.newaxis, :], env, measurement,
+            compiled=compiled,
         )[0]
 
     def slot_energies_batch(
@@ -150,14 +177,23 @@ class PhotonicStrongPUF(StrongPUF):
         challenges: np.ndarray,
         env: PUFEnvironment = NOMINAL_ENV,
         measurement: Optional[int] = None,
+        compiled: Optional[bool] = None,
     ) -> np.ndarray:
-        """(batch, n_channels, total_slots) energies for many challenges."""
+        """(batch, n_channels, total_slots) energies for many challenges.
+
+        ``compiled`` overrides the instance-level :attr:`use_engine` routing:
+        ``True`` forces the compiled vectorized engine, ``False`` forces the
+        per-call loop path of :meth:`PassiveScrambler.propagate` (the
+        reference the equivalence tests and speedup benchmarks pin against).
+        """
         challenges = np.atleast_2d(np.asarray(challenges, dtype=np.uint8))
         if challenges.shape[1] != self.challenge_bits:
             raise ValueError(
                 f"challenges must have {self.challenge_bits} bits, "
                 f"got {challenges.shape[1]}"
             )
+        if compiled is None:
+            compiled = self.use_engine
         if measurement is None:
             measurement = self._measurement_counter
             self._measurement_counter += 1
@@ -175,9 +211,13 @@ class PhotonicStrongPUF(StrongPUF):
         # reach the outermost photodiodes.
         launch = self.n_channels // 2
         fields = np.zeros((batch, self.n_channels, n_samples), dtype=np.complex128)
-        for b in range(batch):
-            fields[b, launch] = self.modulator.modulate(carrier, words[b])
-        out = self.scrambler.propagate(fields, self.laser.wavelength, optical)
+        if compiled:
+            fields[:, launch, :] = self.modulator.modulate_batch(carrier, words)
+            out = self.compiled_mesh(env).propagate(fields)
+        else:
+            for b in range(batch):
+                fields[b, launch] = self.modulator.modulate(carrier, words[b])
+            out = self.scrambler.propagate(fields, self.laser.wavelength, optical)
         power = np.abs(out) ** 2  # mW per sample
         # Integrate per bit slot.
         energies = power.reshape(batch, self.n_channels,
@@ -201,9 +241,11 @@ class PhotonicStrongPUF(StrongPUF):
         challenges: np.ndarray,
         env: PUFEnvironment = NOMINAL_ENV,
         measurement: Optional[int] = None,
+        compiled: Optional[bool] = None,
     ) -> np.ndarray:
         """(batch, response_bits) responses for a matrix of challenges."""
-        energies = self.slot_energies_batch(challenges, env, measurement)
+        energies = self.slot_energies_batch(challenges, env, measurement,
+                                            compiled=compiled)
         columns = []
         for (slot, pair) in self._assignments:
             columns.append(

@@ -23,7 +23,7 @@ import numpy as np
 from repro.photonics.components import MicroringAddDrop
 from repro.photonics.constants import DEFAULT_N_EFF
 from repro.photonics.receiver import ReceiverChain
-from repro.photonics.variation import DieVariation, OpticalEnvironment, VariationModel
+from repro.photonics.variation import OpticalEnvironment, VariationModel
 from repro.puf.base import (
     NOMINAL_ENV,
     AnalogMarginPUF,

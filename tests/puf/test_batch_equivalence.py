@@ -1,0 +1,102 @@
+"""Scalar <-> batched <-> compiled equivalence at the PUF layer."""
+
+import numpy as np
+import pytest
+
+from repro.puf.base import PUFEnvironment
+from repro.puf.photonic_strong import PhotonicStrongPUF, photonic_strong_family
+
+RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def puf():
+    # Noise-free device: propagation numerics are the only difference
+    # between the loop path and the compiled path.
+    return PhotonicStrongPUF(challenge_bits=32, n_stages=6, response_bits=16,
+                             seed=21, die_index=1, noise_mw=0.0)
+
+
+@pytest.fixture(scope="module")
+def challenges():
+    rng = np.random.default_rng(9)
+    return rng.integers(0, 2, size=(24, 32), dtype=np.uint8)
+
+
+class TestEnergyEquivalence:
+    def test_scalar_matches_batch_rows(self, puf, challenges):
+        batch = puf.slot_energies_batch(challenges, measurement=0)
+        for row in range(4):
+            scalar = puf.slot_energies(challenges[row], measurement=0)
+            assert np.allclose(scalar, batch[row], rtol=RTOL, atol=1e-15)
+
+    def test_compiled_matches_loop_path(self, puf, challenges):
+        loop = puf.slot_energies_batch(challenges, measurement=0, compiled=False)
+        fast = puf.slot_energies_batch(challenges, measurement=0, compiled=True)
+        assert np.allclose(fast, loop, rtol=RTOL, atol=1e-15)
+
+    def test_equivalence_holds_with_noise(self, challenges):
+        # Same measurement index and same batch shape draw identical noise,
+        # so the comparison still isolates propagation numerics.
+        noisy = PhotonicStrongPUF(challenge_bits=32, n_stages=6,
+                                  response_bits=16, seed=21, die_index=1)
+        loop = noisy.slot_energies_batch(challenges, measurement=3,
+                                         compiled=False)
+        fast = noisy.slot_energies_batch(challenges, measurement=3,
+                                         compiled=True)
+        assert np.allclose(fast, loop, rtol=RTOL, atol=1e-15)
+
+    def test_equivalence_across_environments(self, puf, challenges):
+        for temperature in (25.0, 31.0, 45.0):
+            env = PUFEnvironment(temperature_c=temperature)
+            loop = puf.slot_energies_batch(challenges[:6], env, measurement=0,
+                                           compiled=False)
+            fast = puf.slot_energies_batch(challenges[:6], env, measurement=0,
+                                           compiled=True)
+            assert np.allclose(fast, loop, rtol=RTOL, atol=1e-15)
+
+
+class TestResponseEquivalence:
+    def test_responses_bitwise_equal(self, puf, challenges):
+        loop = puf.evaluate_batch(challenges, measurement=0, compiled=False)
+        fast = puf.evaluate_batch(challenges, measurement=0, compiled=True)
+        assert np.array_equal(loop, fast)
+
+    def test_scalar_evaluate_matches_batch(self, puf, challenges):
+        batch = puf.evaluate_batch(challenges, measurement=0)
+        for row in range(4):
+            scalar = puf.evaluate(challenges[row], measurement=0)
+            assert np.array_equal(scalar, batch[row])
+
+
+class TestEngineCache:
+    def test_cache_keyed_on_environment(self, challenges):
+        puf = PhotonicStrongPUF(challenge_bits=32, n_stages=4,
+                                response_bits=8, seed=4)
+        assert puf.engine_cache_size() == 0
+        puf.evaluate_batch(challenges[:2], measurement=0)
+        puf.evaluate_batch(challenges[:2], measurement=1)
+        assert puf.engine_cache_size() == 1  # nominal conditions reuse
+        puf.evaluate_batch(challenges[:2],
+                           PUFEnvironment(temperature_c=60.0), measurement=0)
+        assert puf.engine_cache_size() == 2
+
+    def test_noise_scale_shares_compilation(self, challenges):
+        puf = PhotonicStrongPUF(challenge_bits=32, n_stages=4,
+                                response_bits=8, seed=4)
+        puf.evaluate_batch(challenges[:2], measurement=0)
+        puf.evaluate_batch(challenges[:2],
+                           PUFEnvironment(noise_scale=5.0), measurement=0)
+        assert puf.engine_cache_size() == 1
+
+
+class TestFamilyBatchedPath:
+    def test_response_matrix_batched_matches_legacy(self, challenges):
+        family = photonic_strong_family(
+            3, seed=13, challenge_bits=32, n_stages=4, response_bits=8,
+            noise_mw=0.0,
+        )
+        legacy = family.response_matrix(challenges[:5], batched=False)
+        batched = family.response_matrix(challenges[:5], batched=True)
+        assert batched.shape == legacy.shape == (3, 5 * 8)
+        assert np.array_equal(batched, legacy)
