@@ -1,0 +1,71 @@
+"""FLEET-LC: lifecycle-campaign smoke — fault tolerance under load.
+
+Runs a compressed hostile campaign (drops on every message leg, replay +
+tamper + corruption adversaries, churn, one mid-campaign verifier
+crash/restore) and writes the aggregated :class:`CampaignStats` to
+``BENCH_campaign.json`` next to ``BENCH_engine.json``, so CI archives the
+fault-tolerance trajectory PR-over-PR.  The hard gate is the scheme's
+core invariant: zero desynchronized devices, ever.
+"""
+
+import json
+
+from repro.fleet import (
+    CorruptionAdversary,
+    FaultModel,
+    FleetSimulator,
+    ReplayAdversary,
+    TamperAdversary,
+    photonic_device_factory,
+    provision_fleet,
+)
+
+CAMPAIGN_JSON = "BENCH_campaign.json"
+FAST_PUF = dict(challenge_bits=32, n_stages=4, response_bits=16)
+
+
+def test_campaign_fault_tolerance_smoke(table_printer):
+    fleet_size, rounds = 16, 20
+    registry, devices, verifier = provision_fleet(fleet_size, seed=2024,
+                                                  **FAST_PUF)
+    simulator = FleetSimulator(
+        registry, devices, verifier, seed=2024,
+        faults=FaultModel(
+            request_drop=0.02, response_drop=0.05, confirmation_drop=0.2,
+            max_retries=4, enroll_prob=0.2, revoke_prob=0.1,
+            min_fleet_size=fleet_size // 2,
+        ),
+        adversaries=[ReplayAdversary(probability=0.3),
+                     TamperAdversary(probability=0.05, factor=1.4),
+                     CorruptionAdversary(probability=0.1)],
+        device_factory=photonic_device_factory(seed=2024, **FAST_PUF),
+    )
+    stats = simulator.run_campaign(rounds, crash_after_round=rounds // 2)
+
+    table_printer(
+        "FLEET-LC — lifecycle campaign under faults + adversaries",
+        ["metric", "value"],
+        [
+            ("rounds", stats.rounds),
+            ("session attempts", stats.attempts),
+            ("authenticated", stats.authenticated),
+            ("retries", stats.retries),
+            ("dropped req/resp/conf",
+             f"{stats.dropped_requests}/{stats.dropped_responses}"
+             f"/{stats.dropped_confirmations}"),
+            ("adversary messages", stats.adversary_messages),
+            ("failures by kind", dict(sorted(stats.failures_by_kind.items()))),
+            ("enrolled/revoked", f"{stats.enrolled}/{stats.revoked}"),
+            ("verifier restores", stats.restores),
+            ("desynchronized devices", stats.desynchronized),
+            ("auths/s", f"{stats.auths_per_sec:.0f}"),
+        ],
+    )
+
+    with open(CAMPAIGN_JSON, "w") as handle:
+        json.dump(stats.to_json(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert stats.restores == 1
+    assert stats.authenticated > 0
+    assert stats.desynchronized == 0, "rolling CRPs desynchronized"

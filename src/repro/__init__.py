@@ -23,7 +23,14 @@ Quickstart
 True
 """
 
-from repro.fleet import BatchVerifier, FleetDevice, FleetRegistry, provision_fleet
+from repro.fleet import (
+    BatchVerifier,
+    FaultModel,
+    FleetDevice,
+    FleetRegistry,
+    FleetSimulator,
+    provision_fleet,
+)
 from repro.protocols import provision, run_session
 from repro.puf import (
     ArbiterPUF,
@@ -41,8 +48,10 @@ __all__ = [
     "provision",
     "run_session",
     "BatchVerifier",
+    "FaultModel",
     "FleetDevice",
     "FleetRegistry",
+    "FleetSimulator",
     "provision_fleet",
     "ArbiterPUF",
     "PhotonicStrongPUF",

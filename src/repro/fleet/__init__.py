@@ -1,12 +1,24 @@
-"""Fleet-scale enrollment and batch authentication.
+"""Fleet-scale enrollment, batch authentication, and lifecycle simulation.
 
 Built on the compiled photonic engine: enrollment harvests CRPs through
 ``evaluate_batch`` in single vectorized passes, and :class:`BatchVerifier`
 serves many mutual-auth-style sessions (or Hamming-threshold spot checks)
-per call.  See ``registry`` for the verifier-side state and ``verifier``
-for the protocol.
+per call.  See ``registry`` for the verifier-side state (with npz+JSON
+persistence), ``verifier`` for the protocol, and ``lifecycle`` for the
+fault-injection campaign simulator (:class:`FleetSimulator`).
 """
 
+from repro.fleet.lifecycle import (
+    Adversary,
+    CampaignStats,
+    CorruptionAdversary,
+    FaultModel,
+    FleetSimulator,
+    ReplayAdversary,
+    RoundOutcome,
+    TamperAdversary,
+    photonic_device_factory,
+)
 from repro.fleet.registry import DeviceRecord, FleetRegistry
 from repro.fleet.verifier import (
     AuthResponse,
@@ -18,12 +30,21 @@ from repro.fleet.verifier import (
 )
 
 __all__ = [
-    "DeviceRecord",
-    "FleetRegistry",
+    "Adversary",
     "AuthResponse",
     "BatchAuthReport",
     "BatchVerifier",
+    "CampaignStats",
+    "CorruptionAdversary",
+    "DeviceRecord",
+    "FaultModel",
     "FleetDevice",
+    "FleetRegistry",
+    "FleetSimulator",
+    "ReplayAdversary",
+    "RoundOutcome",
     "SpotCheckReport",
+    "TamperAdversary",
+    "photonic_device_factory",
     "provision_fleet",
 ]

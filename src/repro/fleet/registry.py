@@ -11,6 +11,14 @@ device contributes one :class:`DeviceRecord` holding
   challenge/response pairs measured at enrollment through the compiled
   engine's batch path in a single vectorized pass, burned one index at a
   time by :meth:`~repro.fleet.verifier.BatchVerifier.spot_check`.
+
+The registry is the *only* verifier-side state that must survive a
+restart: :meth:`FleetRegistry.to_state` / :meth:`FleetRegistry.from_state`
+capture it as numpy arrays plus a JSON manifest, and
+:meth:`FleetRegistry.save` / :meth:`FleetRegistry.load` round-trip that
+state through one ``.npz`` archive (see
+:func:`repro.utils.serialization.save_state`), so a verifier crash
+mid-campaign never strands a device's rolling CRP.
 """
 
 from __future__ import annotations
@@ -21,8 +29,12 @@ from typing import Dict, Iterable, List
 
 import numpy as np
 
-from repro.protocols.mutual_auth import AuthenticationFailure
+from repro.protocols.mutual_auth import AuthenticationFailure, FailureKind
 from repro.utils.rng import derive_rng
+from repro.utils.serialization import from_hex, load_state, save_state, to_hex
+
+STATE_FORMAT = "fleet-registry"
+STATE_VERSION = 1
 
 
 @dataclass
@@ -110,8 +122,14 @@ class FleetRegistry:
             return self._records[device_id]
         except KeyError:
             raise AuthenticationFailure(
-                f"device {device_id!r} is not enrolled"
+                f"device {device_id!r} is not enrolled",
+                FailureKind.NOT_ENROLLED,
             ) from None
+
+    def revoke(self, device_id: str) -> DeviceRecord:
+        """Remove one device from the fleet (decommissioned/compromised)."""
+        self.record(device_id)  # uniform not-enrolled failure
+        return self._records.pop(device_id)
 
     def records(self, device_ids: Iterable[str]) -> List[DeviceRecord]:
         return [self.record(device_id) for device_id in device_ids]
@@ -134,7 +152,7 @@ class FleetRegistry:
         if unused.size < k:
             raise AuthenticationFailure(
                 f"device {device_id!r} has {unused.size} spot CRPs left, "
-                f"{k} requested"
+                f"{k} requested", FailureKind.POOL_EXHAUSTED,
             )
         chosen = rng.choice(unused, size=k, replace=False)
         record.crp_used[chosen] = True
@@ -143,3 +161,78 @@ class FleetRegistry:
     @property
     def storage_bytes(self) -> int:
         return sum(record.storage_bytes for record in self._records.values())
+
+    def to_state(self) -> dict:
+        """Capture the whole registry as ``{"manifest": ..., "arrays": ...}``.
+
+        The manifest carries the scalar/string state (JSON-serializable);
+        the arrays dict holds each record's rolling response, spot pool
+        and burn mask under per-device keys listed in the manifest.
+        """
+        manifest = {"format": STATE_FORMAT, "version": STATE_VERSION,
+                    "devices": []}
+        arrays: Dict[str, np.ndarray] = {}
+        for index, device_id in enumerate(sorted(self._records)):
+            record = self._records[device_id]
+            key = f"d{index:06d}"
+            manifest["devices"].append({
+                "device_id": device_id,
+                "key": key,
+                "challenge_bits": int(record.challenge_bits),
+                "firmware_hash": to_hex(record.firmware_hash),
+                "expected_clock_count": int(record.expected_clock_count),
+                "sessions": int(record.sessions),
+            })
+            # Copies, not views: the registry mutates current_response and
+            # crp_used in place, and a snapshot must stay a value capture.
+            arrays[f"{key}_response"] = record.current_response.copy()
+            arrays[f"{key}_crp_challenges"] = record.crp_challenges.copy()
+            arrays[f"{key}_crp_responses"] = record.crp_responses.copy()
+            arrays[f"{key}_crp_used"] = record.crp_used.copy()
+        return {"manifest": manifest, "arrays": arrays}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FleetRegistry":
+        """Rebuild a registry from :meth:`to_state` output."""
+        manifest, arrays = state["manifest"], state["arrays"]
+        if manifest.get("format") != STATE_FORMAT:
+            raise ValueError(
+                f"not a fleet-registry state: {manifest.get('format')!r}"
+            )
+        if manifest.get("version") != STATE_VERSION:
+            raise ValueError(
+                f"unsupported state version {manifest.get('version')!r}"
+            )
+        registry = cls()
+        for entry in manifest["devices"]:
+            key = entry["key"]
+            # np.array (not asarray): a registry restored from a snapshot
+            # must not alias the snapshot's arrays, or its in-place
+            # mutations would corrupt a later restore from the same state.
+            record = DeviceRecord(
+                device_id=entry["device_id"],
+                challenge_bits=int(entry["challenge_bits"]),
+                current_response=np.array(arrays[f"{key}_response"],
+                                          dtype=np.uint8),
+                firmware_hash=from_hex(entry["firmware_hash"]),
+                expected_clock_count=int(entry["expected_clock_count"]),
+                crp_challenges=np.array(arrays[f"{key}_crp_challenges"],
+                                        dtype=np.uint8),
+                crp_responses=np.array(arrays[f"{key}_crp_responses"],
+                                       dtype=np.uint8),
+                crp_used=np.array(arrays[f"{key}_crp_used"], dtype=bool),
+                sessions=int(entry["sessions"]),
+            )
+            registry._records[record.device_id] = record
+        return registry
+
+    def save(self, path: str) -> str:
+        """Persist to one ``.npz`` archive; returns the path written."""
+        state = self.to_state()
+        return save_state(path, state["manifest"], state["arrays"])
+
+    @classmethod
+    def load(cls, path: str) -> "FleetRegistry":
+        """Load a registry persisted by :meth:`save`."""
+        manifest, arrays = load_state(path)
+        return cls.from_state({"manifest": manifest, "arrays": arrays})

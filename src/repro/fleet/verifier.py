@@ -33,6 +33,7 @@ from repro.crypto.mac import verify_mac
 from repro.fleet.registry import FleetRegistry
 from repro.protocols.mutual_auth import (
     AuthenticationFailure,
+    FailureKind,
     _pad_bits,
     check_clock_count,
     derive_challenge,
@@ -42,7 +43,12 @@ from repro.protocols.mutual_auth import (
 from repro.puf.photonic_strong import photonic_strong_family
 from repro.utils.bits import bits_from_bytes, xor_bits
 from repro.utils.rng import derive_rng
-from repro.utils.serialization import decode_fields, encode_fields
+from repro.utils.serialization import (
+    decode_fields,
+    encode_fields,
+    from_hex,
+    to_hex,
+)
 
 
 DEFAULT_CLOCK_COUNT = 100_000
@@ -86,7 +92,8 @@ class FleetDevice:
         """
         if self.current_response is None:
             raise AuthenticationFailure(
-                f"device {self.device_id!r} is not provisioned"
+                f"device {self.device_id!r} is not provisioned",
+                FailureKind.NOT_PROVISIONED,
             )
         challenge = derive_challenge(self.current_response,
                                      self.puf.challenge_bits)
@@ -107,11 +114,13 @@ class FleetDevice:
     def confirm(self, confirmation: bytes, nonce: bytes) -> None:
         """Check the verifier's mac' and roll the CRP forward."""
         if self._pending is None:
-            raise AuthenticationFailure("no session in progress")
+            raise AuthenticationFailure("no session in progress",
+                                        FailureKind.NO_SESSION)
         challenge, new_response = self._pending
         expected = encode_fields([_pad_bits(challenge), nonce])
         if not verify_mac(expected, _pad_bits(new_response), confirmation):
-            raise AuthenticationFailure("verifier confirmation rejected")
+            raise AuthenticationFailure("verifier confirmation rejected",
+                                        FailureKind.BAD_CONFIRMATION)
         self.current_response = new_response
         self._pending = None
         self._session += 1
@@ -123,6 +132,44 @@ class FleetDevice:
             self.puf.evaluate_batch(challenges, measurement=measurement),
             dtype=np.uint8,
         )
+
+    def to_state(self) -> dict:
+        """Durable device state (the PUF itself is hardware, not state).
+
+        The in-flight ``_pending`` measurement is deliberately transient:
+        a device that reboots mid-session simply retries, which the
+        two-phase commit makes safe.
+        """
+        return {
+            "device_id": self.device_id,
+            "firmware_hash": to_hex(self.firmware_hash),
+            "clock_count": int(self.clock_count),
+            "session": int(self._session),
+            "current_response": (
+                None if self.current_response is None
+                else to_hex(_pad_bits(self.current_response))
+            ),
+            "response_bits": (
+                None if self.current_response is None
+                else int(self.current_response.size)
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, puf) -> "FleetDevice":
+        """Rebuild a device around its physical PUF from saved state."""
+        response = None
+        if state["current_response"] is not None:
+            bits = bits_from_bytes(from_hex(state["current_response"]))
+            response = bits[: state["response_bits"]]
+        device = cls(
+            state["device_id"], puf,
+            initial_response=response,
+            firmware_hash=from_hex(state["firmware_hash"]),
+            clock_count=int(state["clock_count"]),
+        )
+        device._session = int(state["session"])
+        return device
 
 
 @dataclass(frozen=True)
@@ -136,10 +183,22 @@ class AuthResponse:
 
 @dataclass
 class BatchAuthReport:
-    """Outcome of one :meth:`BatchVerifier.authenticate_fleet` call."""
+    """Outcome of one :meth:`BatchVerifier.authenticate_fleet` call.
+
+    ``failures`` maps device id to a human-readable reason;
+    ``failure_kinds`` maps the same ids to the shared
+    :class:`~repro.protocols.mutual_auth.FailureKind` taxonomy value, so
+    round reports aggregate identically to single-session failures.
+    """
 
     confirmations: Dict[str, bytes] = field(default_factory=dict)
     failures: Dict[str, str] = field(default_factory=dict)
+    failure_kinds: Dict[str, str] = field(default_factory=dict)
+
+    def record_failure(self, device_id: str,
+                       failure: AuthenticationFailure) -> None:
+        self.failures[device_id] = str(failure)
+        self.failure_kinds[device_id] = failure.kind.value
 
     @property
     def n_accepted(self) -> int:
@@ -172,11 +231,17 @@ class BatchVerifier:
     """Verifier serving many mutual-auth sessions per call."""
 
     def __init__(self, registry: FleetRegistry, seed: int = 0,
-                 clock_tolerance: float = 0.05):
+                 clock_tolerance: float = 0.05, nonce_counter: int = 0,
+                 nonce_epoch: int = 0):
         self.registry = registry
         self.seed = seed
         self.clock_tolerance = clock_tolerance
-        self._nonce_counter = 0
+        # Nonces are derived from (seed, epoch, counter).  The counter is
+        # restorable and the epoch bumps on every from_state restore, so
+        # a verifier restarted even from a *stale* checkpoint never
+        # re-issues a nonce some earlier boot already put on the wire.
+        self._nonce_counter = nonce_counter
+        self._nonce_epoch = nonce_epoch
         # Replay tags and unmasked responses of in-flight sessions only,
         # per device; both are dropped at finalization (a finalized
         # session's messages already fail the session-index check), which
@@ -189,7 +254,7 @@ class BatchVerifier:
         nonces = {}
         for device_id in device_ids:
             self.registry.record(device_id)  # fail fast on unknown devices
-            nonce = derive_rng(self.seed, "fleet-nonce",
+            nonce = derive_rng(self.seed, "fleet-nonce", self._nonce_epoch,
                                self._nonce_counter).bytes(16)
             self._nonce_counter += 1
             nonces[device_id] = nonce
@@ -211,37 +276,78 @@ class BatchVerifier:
         valid: List[AuthResponse] = []
         masked_rows: List[np.ndarray] = []
         stored_rows: List[np.ndarray] = []
+        seen_this_round: set = set()
         for response in responses:
             try:
+                if response.device_id in seen_this_round:
+                    # A second message for the same device would silently
+                    # overwrite the first one's pending state and
+                    # double-count its row in the unmasking matrix.
+                    raise AuthenticationFailure(
+                        "duplicate device in round",
+                        FailureKind.DUPLICATE_DEVICE,
+                    )
+                seen_this_round.add(response.device_id)
                 record = self.registry.record(response.device_id)
                 nonce = nonces.get(response.device_id)
                 if nonce is None:
-                    raise AuthenticationFailure("no nonce issued this round")
-                seen = self._seen_tags.setdefault(response.device_id, set())
-                if bytes(response.tag) in seen:
-                    raise AuthenticationFailure("replayed message")
+                    raise AuthenticationFailure("no nonce issued this round",
+                                                FailureKind.NO_NONCE)
+                if bytes(response.tag) in self._seen_tags.get(
+                        response.device_id, ()):
+                    raise AuthenticationFailure("replayed message",
+                                                FailureKind.REPLAY)
                 if not verify_mac(response.body,
                                   _pad_bits(record.current_response),
                                   response.tag):
-                    raise AuthenticationFailure("device MAC rejected")
-                seen.add(bytes(response.tag))
-                session_raw, masked, integrity, echoed = decode_fields(
-                    response.body
-                )
+                    raise AuthenticationFailure("device MAC rejected",
+                                                FailureKind.BAD_MAC)
+                # A MAC-valid body can still be malformed (buggy device
+                # firmware MACs whatever it framed); that must fail this
+                # device only, never abort the whole round.
+                try:
+                    fields = decode_fields(response.body)
+                    if len(fields) != 4:
+                        raise ValueError(
+                            f"expected 4 fields, got {len(fields)}"
+                        )
+                    session_raw, masked, integrity, echoed = fields
+                except ValueError as exc:
+                    raise AuthenticationFailure(
+                        f"malformed body: {exc}", FailureKind.MALFORMED,
+                    ) from exc
                 if int.from_bytes(session_raw, "big") != record.sessions:
-                    raise AuthenticationFailure("session index mismatch")
+                    raise AuthenticationFailure("session index mismatch",
+                                                FailureKind.SESSION_MISMATCH)
                 if echoed != nonce:
-                    raise AuthenticationFailure("nonce mismatch (replay or delay)")
+                    raise AuthenticationFailure(
+                        "nonce mismatch (replay or delay)",
+                        FailureKind.NONCE_MISMATCH,
+                    )
                 clock_count = unmask_clock_count(integrity,
                                                  record.firmware_hash)
                 check_clock_count(clock_count, record.expected_clock_count,
                                   self.clock_tolerance)
+                bits = bits_from_bytes(masked)
+                if bits.size < record.current_response.size:
+                    # A short row would make the stacked unmasking matrix
+                    # ragged and crash np.vstack for everyone.
+                    raise AuthenticationFailure(
+                        f"masked response field holds {bits.size} bits, "
+                        f"expected {record.current_response.size}",
+                        FailureKind.MALFORMED,
+                    )
             except AuthenticationFailure as failure:
-                report.failures[response.device_id] = str(failure)
+                report.record_failure(response.device_id, failure)
                 continue
-            bits = bits_from_bytes(masked)[: record.current_response.size]
+            # Cache the replay tag only once every check passed: a
+            # rejected message fails the same deterministic checks on
+            # replay, so caching it would only grow the per-device set
+            # without bound for a device that never reaches finalize.
+            self._seen_tags.setdefault(response.device_id, set()).add(
+                bytes(response.tag))
             valid.append(response)
-            masked_rows.append(bits)
+            masked_rows.append(bits[: record.current_response.size])
             stored_rows.append(record.current_response)
         if not valid:
             return report
@@ -268,7 +374,8 @@ class BatchVerifier:
         pending = self._pending.pop(device_id, None)
         if pending is None:
             raise AuthenticationFailure(
-                f"device {device_id!r} has no session to finalise"
+                f"device {device_id!r} has no session to finalise",
+                FailureKind.NO_SESSION,
             )
         self.registry.roll(device_id, pending)
         # A finalized session's messages fail the session-index check, so
@@ -281,6 +388,37 @@ class BatchVerifier:
         Both sides stay on the current CRP; the device simply retries.
         """
         self._pending.pop(device_id, None)
+
+    def evict(self, device_id: str) -> None:
+        """Drop all per-device verifier state (revocation cleanup)."""
+        self._pending.pop(device_id, None)
+        self._seen_tags.pop(device_id, None)
+
+    def to_state(self) -> dict:
+        """Durable verifier state beyond the registry.
+
+        Only the nonce stream state matters across a restart.  In-flight
+        pendings and replay tags are transient by design — an interrupted
+        session is simply retried under the two-phase commit.
+        """
+        return {"seed": int(self.seed),
+                "clock_tolerance": float(self.clock_tolerance),
+                "nonce_counter": int(self._nonce_counter),
+                "nonce_epoch": int(self._nonce_epoch)}
+
+    @classmethod
+    def from_state(cls, registry: FleetRegistry,
+                   state: dict) -> "BatchVerifier":
+        """Restart from a snapshot; the nonce epoch advances by one.
+
+        The epoch bump makes every post-restart nonce fresh even when the
+        snapshot is stale (counter behind the crashed verifier's), which
+        closes the replay window a counter-only restore would leave open.
+        """
+        return cls(registry, seed=int(state["seed"]),
+                   clock_tolerance=float(state["clock_tolerance"]),
+                   nonce_counter=int(state["nonce_counter"]),
+                   nonce_epoch=int(state.get("nonce_epoch", 0)) + 1)
 
     def authenticate_fleet(self, devices: Sequence[FleetDevice]) -> BatchAuthReport:
         """Run one full mutual-auth session for every device, in one call."""
@@ -295,7 +433,11 @@ class BatchVerifier:
             try:
                 device.confirm(confirmation, nonces[device.device_id])
             except AuthenticationFailure as failure:
-                report.failures[device.device_id] = f"confirmation: {failure}"
+                report.record_failure(
+                    device.device_id,
+                    AuthenticationFailure(f"confirmation: {failure}",
+                                          failure.kind),
+                )
                 del report.confirmations[device.device_id]
                 self.abort(device.device_id)
                 continue
@@ -311,7 +453,8 @@ class BatchVerifier:
         is one vectorized fractional-Hamming-distance comparison across
         the whole fleet.
         """
-        rng = derive_rng(self.seed, "fleet-spot", self._nonce_counter)
+        rng = derive_rng(self.seed, "fleet-spot", self._nonce_epoch,
+                         self._nonce_counter)
         self._nonce_counter += 1
         fresh_rows: List[np.ndarray] = []
         expected_rows: List[np.ndarray] = []

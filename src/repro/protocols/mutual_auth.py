@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from enum import Enum
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -40,8 +41,44 @@ from repro.utils.rng import derive_rng
 from repro.utils.serialization import decode_fields, encode_fields
 
 
+class FailureKind(str, Enum):
+    """Shared failure taxonomy for every authentication path.
+
+    The single-session verifier (:class:`AuthVerifier`), the fleet batch
+    verifier (:class:`repro.fleet.verifier.BatchVerifier`) and the device
+    side all classify rejections with the same vocabulary, so per-round
+    failure reports and campaign statistics aggregate identically no
+    matter which path produced them.
+    """
+
+    MALFORMED = "malformed-message"
+    REPLAY = "replay"
+    BAD_MAC = "bad-mac"
+    SESSION_MISMATCH = "session-mismatch"
+    NONCE_MISMATCH = "nonce-mismatch"
+    FIRMWARE_MISMATCH = "firmware-mismatch"
+    CLOCK_ANOMALY = "clock-anomaly"
+    NOT_ENROLLED = "not-enrolled"
+    NOT_PROVISIONED = "not-provisioned"
+    DUPLICATE_DEVICE = "duplicate-device"
+    NO_NONCE = "no-nonce"
+    BAD_CONFIRMATION = "bad-confirmation"
+    NO_SESSION = "no-session"
+    POOL_EXHAUSTED = "pool-exhausted"
+    UNSPECIFIED = "unspecified"
+
+
 class AuthenticationFailure(Exception):
-    """A protocol check failed (bad MAC, bad integrity evidence, replay)."""
+    """A protocol check failed (bad MAC, bad integrity evidence, replay).
+
+    Carries a :class:`FailureKind` so callers can aggregate failures by
+    cause without parsing the human-readable message.
+    """
+
+    def __init__(self, message: str = "",
+                 kind: "FailureKind" = FailureKind.UNSPECIFIED):
+        super().__init__(message)
+        self.kind = FailureKind(kind)
 
 
 def _pad_bits(bits: BitArray) -> bytes:
@@ -69,8 +106,14 @@ def mask_integrity(firmware_hash: bytes, clock_count: int) -> bytes:
 def unmask_clock_count(integrity: bytes, expected_hash: bytes) -> int:
     """Recover CC from H XOR CC; reject when the hash does not match."""
     cc_field = bytes(h ^ i for h, i in zip(expected_hash, integrity))
+    if len(integrity) != len(expected_hash):
+        raise AuthenticationFailure(
+            f"integrity field is {len(integrity)} bytes, "
+            f"expected {len(expected_hash)}", FailureKind.MALFORMED,
+        )
     if any(cc_field[:-8]):
-        raise AuthenticationFailure("firmware hash mismatch")
+        raise AuthenticationFailure("firmware hash mismatch",
+                                    FailureKind.FIRMWARE_MISMATCH)
     return int.from_bytes(cc_field[-8:], "big")
 
 
@@ -80,7 +123,8 @@ def check_clock_count(clock_count: int, expected: int, tolerance: float) -> None
     high = expected * (1 + tolerance)
     if not low <= clock_count <= high:
         raise AuthenticationFailure(
-            f"clock count {clock_count} outside [{low:.0f}, {high:.0f}]"
+            f"clock count {clock_count} outside [{low:.0f}, {high:.0f}]",
+            FailureKind.CLOCK_ANOMALY,
         )
 
 
@@ -133,11 +177,13 @@ class AuthDevice:
     def verify_confirmation(self, confirmation: bytes, nonce: bytes) -> None:
         """Check mac' and roll the CRP forward (the last step of Fig. 4)."""
         if self._pending is None:
-            raise AuthenticationFailure("no session in progress")
+            raise AuthenticationFailure("no session in progress",
+                                        FailureKind.NO_SESSION)
         challenge, new_response = self._pending
         expected_body = encode_fields([_pad_bits(challenge), nonce])
         if not verify_mac(expected_body, _pad_bits(new_response), confirmation):
-            raise AuthenticationFailure("verifier confirmation rejected")
+            raise AuthenticationFailure("verifier confirmation rejected",
+                                        FailureKind.BAD_CONFIRMATION)
         self.current_response = new_response
         self._pending = None
         self._session += 1
@@ -175,20 +221,40 @@ class AuthVerifier:
                          challenge_bits: int) -> bytes:
         """Verify ``m || mac``; emit the confirmation mac'."""
         try:
-            body, tag = decode_fields(message)
+            fields = decode_fields(message)
+            if len(fields) != 2:
+                raise ValueError(f"expected 2 fields, got {len(fields)}")
+            body, tag = fields
         except ValueError as exc:
-            raise AuthenticationFailure(f"malformed message: {exc}") from exc
+            raise AuthenticationFailure(f"malformed message: {exc}",
+                                        FailureKind.MALFORMED) from exc
         if bytes(tag) in self._seen_tags:
-            raise AuthenticationFailure("replayed message")
+            raise AuthenticationFailure("replayed message", FailureKind.REPLAY)
         if not verify_mac(body, _pad_bits(self.current_response), tag):
-            raise AuthenticationFailure("device MAC rejected")
-        self._seen_tags.add(bytes(tag))
-        session_raw, masked, integrity, echoed_nonce = decode_fields(body)
+            raise AuthenticationFailure("device MAC rejected",
+                                        FailureKind.BAD_MAC)
+        try:
+            fields = decode_fields(body)
+            if len(fields) != 4:
+                raise ValueError(f"expected 4 fields, got {len(fields)}")
+            session_raw, masked, integrity, echoed_nonce = fields
+        except ValueError as exc:
+            raise AuthenticationFailure(f"malformed body: {exc}",
+                                        FailureKind.MALFORMED) from exc
         if int.from_bytes(session_raw, "big") != self._session:
-            raise AuthenticationFailure("session index mismatch")
+            raise AuthenticationFailure("session index mismatch",
+                                        FailureKind.SESSION_MISMATCH)
         if echoed_nonce != nonce:
-            raise AuthenticationFailure("nonce mismatch (replay or delay)")
-        masked_bits = bits_from_bytes(masked)[: self.current_response.size]
+            raise AuthenticationFailure("nonce mismatch (replay or delay)",
+                                        FailureKind.NONCE_MISMATCH)
+        masked_bits = bits_from_bytes(masked)
+        if masked_bits.size < self.current_response.size:
+            raise AuthenticationFailure(
+                f"masked response field holds {masked_bits.size} bits, "
+                f"expected {self.current_response.size}",
+                FailureKind.MALFORMED,
+            )
+        masked_bits = masked_bits[: self.current_response.size]
         new_response = xor_bits(self.current_response, masked_bits)
         self._check_integrity(integrity)
         challenge = derive_challenge(self.current_response, challenge_bits)
@@ -196,6 +262,10 @@ class AuthVerifier:
             encode_fields([_pad_bits(challenge), nonce]),
             _pad_bits(new_response),
         )
+        # Cache the replay tag only for accepted messages: a rejected one
+        # fails the same deterministic checks again, so caching it would
+        # grow the set without bound between finalizes.
+        self._seen_tags.add(bytes(tag))
         self._pending_response = new_response
         return confirmation
 
@@ -206,12 +276,20 @@ class AuthVerifier:
                           self.clock_tolerance)
 
     def finalize(self) -> None:
-        """Roll the CRP after the confirmation went out."""
+        """Roll the CRP after the confirmation went out.
+
+        Replay tags are pruned here (as :class:`BatchVerifier` already
+        does): once the CRP rolled, a replayed message fails the MAC
+        check (old key) and the session-index check, so keeping its tag
+        would only grow ``_seen_tags`` without bound across sessions.
+        """
         if self._pending_response is None:
-            raise AuthenticationFailure("no session to finalise")
+            raise AuthenticationFailure("no session to finalise",
+                                        FailureKind.NO_SESSION)
         self.current_response = self._pending_response
         self._pending_response = None
         self._session += 1
+        self._seen_tags.clear()
 
     @property
     def storage_bytes(self) -> int:
@@ -301,7 +379,8 @@ class CRPDatabaseVerifier:
         requiring equality.
         """
         if self._cursor >= len(self._entries):
-            raise AuthenticationFailure("CRP database exhausted")
+            raise AuthenticationFailure("CRP database exhausted",
+                                        FailureKind.POOL_EXHAUSTED)
         challenge_bytes, expected = self._entries[self._cursor]
         self._cursor += 1
         challenge = bits_from_bytes(challenge_bytes)[: soc.strong_puf.challenge_bits]

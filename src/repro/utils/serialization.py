@@ -4,14 +4,26 @@ Protocol messages are sequences of byte-string fields.  We encode them with
 a 4-byte big-endian length prefix per field so that encoding is injective:
 no two distinct field sequences produce the same wire bytes, which matters
 when the encoded message is MACed.
+
+The module also provides the on-disk state format used by the fleet
+registry (:meth:`repro.fleet.registry.FleetRegistry.save`): a single
+``.npz`` archive holding the numpy arrays plus a JSON manifest for the
+scalar/string state, written by :func:`save_state` and read back by
+:func:`load_state`.
 """
 
 from __future__ import annotations
 
+import json
 import struct
-from typing import List, Sequence
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
 
 _LENGTH = struct.Struct(">I")
+
+#: Reserved array key carrying the JSON manifest inside a state archive.
+MANIFEST_KEY = "manifest_json"
 
 
 def encode_fields(fields: Sequence[bytes]) -> bytes:
@@ -40,6 +52,43 @@ def decode_fields(data: bytes) -> List[bytes]:
         fields.append(bytes(view[offset:offset + length]))
         offset += length
     return fields
+
+
+def save_state(path: str, manifest: dict,
+               arrays: Mapping[str, np.ndarray]) -> str:
+    """Write a JSON manifest plus named numpy arrays as one ``.npz`` file.
+
+    ``manifest`` must be JSON-serializable; array keys must be valid
+    Python identifiers (``np.savez`` keyword constraint) and must not
+    collide with :data:`MANIFEST_KEY`.  Returns the path actually
+    written (``np.savez`` appends the ``.npz`` suffix when missing).
+    """
+    if MANIFEST_KEY in arrays:
+        raise ValueError(f"array key {MANIFEST_KEY!r} is reserved")
+    payload: Dict[str, np.ndarray] = {
+        MANIFEST_KEY: np.frombuffer(
+            json.dumps(manifest, sort_keys=True).encode(), dtype=np.uint8
+        ),
+    }
+    for key, value in arrays.items():
+        payload[key] = np.asarray(value)
+    np.savez_compressed(path, **payload)
+    path = str(path)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_state(path: str) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Inverse of :func:`save_state`: ``(manifest, arrays)``."""
+    with np.load(path) as archive:
+        try:
+            manifest = json.loads(bytes(archive[MANIFEST_KEY]).decode())
+        except KeyError:
+            raise ValueError(
+                f"{path!r} is not a state archive (no {MANIFEST_KEY!r} entry)"
+            ) from None
+        arrays = {key: archive[key] for key in archive.files
+                  if key != MANIFEST_KEY}
+    return manifest, arrays
 
 
 def to_hex(data: bytes) -> str:

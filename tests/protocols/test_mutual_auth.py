@@ -123,6 +123,72 @@ class TestVerifierStateMachine:
         with pytest.raises(AuthenticationFailure):
             verifier.finalize()
 
+    def test_seen_tags_pruned_on_finalize(self, parties):
+        # The replay cache must stay flat across sessions: once the CRP
+        # rolls, old tags fail the MAC check anyway.
+        device, verifier = parties
+        for __ in range(5):
+            record = run_session(device, verifier)
+            assert record.success
+            assert len(verifier._seen_tags) == 0
+
+    def test_replay_after_finalize_still_rejected(self, parties):
+        device, verifier = parties
+        nonce = verifier.new_nonce()
+        message = device.handle_request(nonce)
+        confirmation = verifier.process_response(
+            message, nonce, device.soc.strong_puf.challenge_bits)
+        device.verify_confirmation(confirmation, nonce)
+        verifier.finalize()
+        # Tag pruned, but the rolled CRP rejects the stale message.
+        with pytest.raises(AuthenticationFailure) as failure:
+            verifier.process_response(
+                message, nonce, device.soc.strong_puf.challenge_bits)
+        assert "MAC" in str(failure.value)
+
+    def test_malformed_but_authentic_body_rejected_cleanly(self, parties):
+        # Buggy firmware MACs a broken frame: must fail as a protocol
+        # error, never escape as a raw ValueError.
+        from repro.crypto.mac import mac as compute_mac
+        from repro.protocols.mutual_auth import FailureKind, _pad_bits
+        from repro.utils.serialization import encode_fields
+
+        device, verifier = parties
+        nonce = verifier.new_nonce()
+        body = b"not-length-prefixed"
+        tag = compute_mac(body, _pad_bits(device.current_response))
+        with pytest.raises(AuthenticationFailure) as failure:
+            verifier.process_response(
+                encode_fields([body, tag]), nonce,
+                device.soc.strong_puf.challenge_bits)
+        assert failure.value.kind is FailureKind.MALFORMED
+
+    def test_truncated_masked_field_rejected_cleanly(self, parties):
+        from repro.crypto.mac import mac as compute_mac
+        from repro.protocols.mutual_auth import (
+            FailureKind,
+            _pad_bits,
+            mask_integrity,
+        )
+        from repro.utils.serialization import encode_fields
+
+        device, verifier = parties
+        nonce = verifier.new_nonce()
+        firmware_hash, __ = device.soc.firmware_hash()
+        body = encode_fields([
+            (0).to_bytes(4, "big"),
+            b"\x00",  # far fewer masked bits than response_bits
+            mask_integrity(firmware_hash, device.soc.measure_clock_count()),
+            nonce,
+        ])
+        tag = compute_mac(body, _pad_bits(device.current_response))
+        with pytest.raises(AuthenticationFailure) as failure:
+            verifier.process_response(
+                encode_fields([body, tag]), nonce,
+                device.soc.strong_puf.challenge_bits)
+        assert failure.value.kind is FailureKind.MALFORMED
+        assert "masked response field" in str(failure.value)
+
     def test_device_confirmation_requires_pending(self, parties):
         device, __ = parties
         with pytest.raises(AuthenticationFailure):
