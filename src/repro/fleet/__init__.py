@@ -27,6 +27,7 @@ from repro.fleet.verifier import (
     FleetDevice,
     SpotCheckReport,
     provision_fleet,
+    respond_fleet,
 )
 
 __all__ = [
@@ -47,4 +48,5 @@ __all__ = [
     "TamperAdversary",
     "photonic_device_factory",
     "provision_fleet",
+    "respond_fleet",
 ]

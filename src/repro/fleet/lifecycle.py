@@ -42,6 +42,7 @@ from repro.fleet.verifier import (
     BatchAuthReport,
     BatchVerifier,
     FleetDevice,
+    respond_fleet,
 )
 from repro.protocols.mutual_auth import AuthenticationFailure
 from repro.puf.photonic_strong import PhotonicStrongPUF
@@ -357,8 +358,12 @@ class FleetSimulator:
                  outcome: RoundOutcome) -> Set[str]:
         faults = self.faults
         nonces = self.verifier.open_round(ids)
-        messages: List[AuthResponse] = []
-        fresh: List[AuthResponse] = []
+        # Decide per-device faults and tamper overrides first (one RNG
+        # draw sequence per device, as before), then measure every
+        # responding device in one stacked pass per execution plane.
+        responders: List[str] = []
+        factors: Dict[str, float] = {}
+        delivered: Dict[str, bool] = {}
         for device_id in ids:
             self.stats.attempts += 1
             if rng.random() < faults.request_drop:
@@ -370,14 +375,20 @@ class FleetSimulator:
                                                    self._round_index, rng)
                 if override is not None:
                     factor = override
-            message = self.devices[device_id].respond(
-                nonces[device_id], tamper_factor=factor
-            )
-            fresh.append(message)
+            responders.append(device_id)
+            factors[device_id] = factor
             if rng.random() < faults.response_drop:
                 self.stats.dropped_responses += 1
-                continue
-            messages.append(message)
+                delivered[device_id] = False
+            else:
+                delivered[device_id] = True
+        fresh: List[AuthResponse] = respond_fleet(
+            [self.devices[device_id] for device_id in responders],
+            nonces, factors,
+        )
+        messages: List[AuthResponse] = [
+            message for message in fresh if delivered[message.device_id]
+        ]
         for adversary in self.adversaries:
             before = {id(message) for message in messages}
             messages = list(adversary.mutate(messages, tuple(self._captured),

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -80,6 +80,32 @@ class FleetRegistry:
     def device_ids(self) -> List[str]:
         return list(self._records)
 
+    @staticmethod
+    def _pool_challenges(device, n_spot_crps: int, seed: int) -> np.ndarray:
+        """The device's spot-pool challenge block (one derived stream)."""
+        pool_rng = derive_rng(seed, "fleet-enroll", device.device_id)
+        return pool_rng.integers(
+            0, 2, size=(n_spot_crps, device.puf.challenge_bits),
+            dtype=np.uint8,
+        )
+
+    def _build_record(self, device, challenges: np.ndarray,
+                      responses: np.ndarray) -> DeviceRecord:
+        if device.device_id in self._records:
+            raise ValueError(f"device {device.device_id!r} already enrolled")
+        record = DeviceRecord(
+            device_id=device.device_id,
+            challenge_bits=int(device.puf.challenge_bits),
+            current_response=np.asarray(device.current_response, dtype=np.uint8),
+            firmware_hash=bytes(device.firmware_hash),
+            expected_clock_count=int(device.clock_count),
+            crp_challenges=challenges,
+            crp_responses=responses,
+            crp_used=np.zeros(len(challenges), dtype=bool),
+        )
+        self._records[device.device_id] = record
+        return record
+
     def enroll(self, device, n_spot_crps: int = 0, seed: int = 0,
                measurement: int = 0) -> DeviceRecord:
         """Enroll one device (duck-typed: id, PUF, response, firmware hash).
@@ -93,10 +119,7 @@ class FleetRegistry:
             raise ValueError(f"device {device.device_id!r} already enrolled")
         puf = device.puf
         if n_spot_crps > 0:
-            pool_rng = derive_rng(seed, "fleet-enroll", device.device_id)
-            challenges = pool_rng.integers(
-                0, 2, size=(n_spot_crps, puf.challenge_bits), dtype=np.uint8
-            )
+            challenges = self._pool_challenges(device, n_spot_crps, seed)
             responses = np.asarray(
                 puf.evaluate_batch(challenges, measurement=measurement),
                 dtype=np.uint8,
@@ -104,18 +127,63 @@ class FleetRegistry:
         else:
             challenges = np.zeros((0, puf.challenge_bits), dtype=np.uint8)
             responses = np.zeros((0, puf.response_bits), dtype=np.uint8)
-        record = DeviceRecord(
-            device_id=device.device_id,
-            challenge_bits=int(puf.challenge_bits),
-            current_response=np.asarray(device.current_response, dtype=np.uint8),
-            firmware_hash=bytes(device.firmware_hash),
-            expected_clock_count=int(device.clock_count),
-            crp_challenges=challenges,
-            crp_responses=responses,
-            crp_used=np.zeros(len(challenges), dtype=bool),
-        )
-        self._records[device.device_id] = record
-        return record
+        return self._build_record(device, challenges, responses)
+
+    def enroll_fleet(self, devices: Sequence, n_spot_crps: int = 0,
+                     seed: int = 0, measurement: int = 0) -> List[DeviceRecord]:
+        """Enroll many devices, harvesting every spot pool in one pass.
+
+        Plane-attached devices (see
+        :meth:`repro.fleet.verifier.FleetDevice.attach_plane`) answer all
+        ``n_devices x n_spot_crps`` pool challenges through a single
+        fleet-stacked tensor pass per plane; the challenge streams, noise
+        realisations, and resulting records are identical to calling
+        :meth:`enroll` per device.
+        """
+        devices = list(devices)
+        # Validate the whole batch before harvesting anything: a mid-list
+        # duplicate must not leave earlier devices committed (nor burn a
+        # fleet-sized harvest on a doomed call).
+        seen = set()
+        for device in devices:
+            if device.device_id in self._records or device.device_id in seen:
+                raise ValueError(
+                    f"device {device.device_id!r} already enrolled"
+                )
+            seen.add(device.device_id)
+        if n_spot_crps <= 0:
+            return [self.enroll(device, n_spot_crps=0, seed=seed,
+                                measurement=measurement)
+                    for device in devices]
+        blocks = [self._pool_challenges(device, n_spot_crps, seed)
+                  for device in devices]
+        harvested: List[Optional[np.ndarray]] = [None] * len(devices)
+        groups: Dict[int, List[int]] = {}
+        planes: Dict[int, object] = {}
+        for position, device in enumerate(devices):
+            plane = getattr(device, "plane", None)
+            if plane is None or getattr(device, "plane_row", None) is None:
+                harvested[position] = np.asarray(
+                    device.puf.evaluate_batch(blocks[position],
+                                              measurement=measurement),
+                    dtype=np.uint8,
+                )
+            else:
+                groups.setdefault(id(plane), []).append(position)
+                planes[id(plane)] = plane
+        for key, positions in groups.items():
+            plane = planes[key]
+            rows = [devices[p].plane_row for p in positions]
+            stacked = plane.evaluate(
+                np.stack([blocks[p] for p in positions]),
+                measurements=measurement, dies=rows,
+            )
+            for index, position in enumerate(positions):
+                harvested[position] = np.asarray(stacked[index],
+                                                 dtype=np.uint8)
+        return [self._build_record(device, blocks[position],
+                                   harvested[position])
+                for position, device in enumerate(devices)]
 
     def record(self, device_id: str) -> DeviceRecord:
         try:

@@ -37,12 +37,13 @@ from repro.protocols.mutual_auth import (
     _pad_bits,
     check_clock_count,
     derive_challenge,
+    derive_challenge_batch,
     mask_integrity,
     unmask_clock_count,
 )
 from repro.puf.photonic_strong import photonic_strong_family
 from repro.utils.bits import bits_from_bytes, xor_bits
-from repro.utils.rng import derive_rng
+from repro.utils.rng import derive_bytes, derive_rng
 from repro.utils.serialization import (
     decode_fields,
     encode_fields,
@@ -54,8 +55,23 @@ from repro.utils.serialization import (
 DEFAULT_CLOCK_COUNT = 100_000
 
 
+def provisioning_challenge(seed: int, device_id: str,
+                           n_bits: int) -> np.ndarray:
+    """The manufacturing-time challenge of one device's enrollment CRP."""
+    rng = derive_rng(seed, "fleet-provision", device_id)
+    return rng.integers(0, 2, n_bits, dtype=np.uint8)
+
+
 class FleetDevice:
-    """Device side of the fleet protocol: a strong PUF plus rolling state."""
+    """Device side of the fleet protocol: a strong PUF plus rolling state.
+
+    A device may additionally be *attached* to a fleet-stacked execution
+    plane (:meth:`attach_plane`): its PUF then answers round measurements
+    as one row of the plane's single tensor pass (see
+    :func:`respond_fleet`) instead of a batch-1 interrogation of its own.
+    The plane is runtime wiring, not durable state — a device restored
+    from a snapshot responds per-device until re-attached.
+    """
 
     def __init__(self, device_id: str, puf, initial_response=None,
                  firmware_hash: Optional[bytes] = None,
@@ -74,30 +90,47 @@ class FleetDevice:
         )
         self._session = 0
         self._pending = None
+        self.plane = None
+        self.plane_row: Optional[int] = None
+
+    def attach_plane(self, plane, row: int) -> None:
+        """Wire this device into a stacked execution plane at ``row``."""
+        if plane.pufs[row] is not self.puf:
+            raise ValueError(
+                f"plane row {row} does not hold device {self.device_id!r}'s PUF"
+            )
+        self.plane = plane
+        self.plane_row = int(row)
+
+    def detach_plane(self) -> None:
+        """Drop the stacked-plane wiring (device falls back to batch-1)."""
+        self.plane = None
+        self.plane_row = None
 
     def provision(self, seed: int = 0) -> np.ndarray:
         """Measure the manufacturing-time response (enrollment secret)."""
-        rng = derive_rng(seed, "fleet-provision", self.device_id)
-        challenge = rng.integers(0, 2, self.puf.challenge_bits, dtype=np.uint8)
+        challenge = provisioning_challenge(seed, self.device_id,
+                                           self.puf.challenge_bits)
         self.current_response = np.asarray(
             self.puf.evaluate(challenge), dtype=np.uint8
         )
         return self.current_response
 
-    def respond(self, nonce: bytes, tamper_factor: float = 1.0) -> "AuthResponse":
-        """One Fig. 4 device turn: fresh CRP measurement, masked + MAC'd.
-
-        ``tamper_factor`` scales the measured clock count, modelling the
-        slowdown a compromised integrity routine exhibits.
-        """
+    def derive_next_challenge(self) -> np.ndarray:
+        """c_{i+1} = RNG(r_i) for this device's rolling state."""
         if self.current_response is None:
             raise AuthenticationFailure(
                 f"device {self.device_id!r} is not provisioned",
                 FailureKind.NOT_PROVISIONED,
             )
-        challenge = derive_challenge(self.current_response,
-                                     self.puf.challenge_bits)
-        new_response = np.asarray(self.puf.evaluate(challenge), dtype=np.uint8)
+        return derive_challenge(self.current_response,
+                                self.puf.challenge_bits)
+
+    def assemble_response(self, challenge: np.ndarray,
+                          new_response: np.ndarray, nonce: bytes,
+                          tamper_factor: float = 1.0) -> "AuthResponse":
+        """Frame + MAC one turn from an already-measured fresh response."""
+        new_response = np.asarray(new_response, dtype=np.uint8)
         masked = xor_bits(self.current_response, new_response)
         integrity = mask_integrity(self.firmware_hash,
                                    int(self.clock_count * tamper_factor))
@@ -110,6 +143,17 @@ class FleetDevice:
         tag = compute_mac(body, _pad_bits(self.current_response))
         self._pending = (challenge, new_response)
         return AuthResponse(self.device_id, body, tag)
+
+    def respond(self, nonce: bytes, tamper_factor: float = 1.0) -> "AuthResponse":
+        """One Fig. 4 device turn: fresh CRP measurement, masked + MAC'd.
+
+        ``tamper_factor`` scales the measured clock count, modelling the
+        slowdown a compromised integrity routine exhibits.
+        """
+        challenge = self.derive_next_challenge()
+        new_response = np.asarray(self.puf.evaluate(challenge), dtype=np.uint8)
+        return self.assemble_response(challenge, new_response, nonce,
+                                      tamper_factor)
 
     def confirm(self, confirmation: bytes, nonce: bytes) -> None:
         """Check the verifier's mac' and roll the CRP forward."""
@@ -179,6 +223,54 @@ class AuthResponse:
     device_id: str
     body: bytes
     tag: bytes
+
+
+def respond_fleet(
+    devices: Sequence[FleetDevice],
+    nonces: Dict[str, bytes],
+    tamper_factors: Optional[Dict[str, float]] = None,
+) -> List[AuthResponse]:
+    """Every device's Fig. 4 turn, measured as one tensor pass per plane.
+
+    Devices attached to a stacked execution plane are grouped: their next
+    challenges are gathered first (:func:`derive_challenge_batch`), all
+    fresh responses come back from a single
+    :meth:`~repro.puf.photonic_strong.PhotonicFleet.evaluate` pass over
+    the stacked rows, and only the per-device message framing remains
+    sequential.  Unattached devices (heterogeneous hardware, mid-campaign
+    churn before re-stacking) fall back to their own batch-1
+    :meth:`FleetDevice.respond`.  Message order matches ``devices``.
+    """
+    tamper_factors = tamper_factors or {}
+    messages: List[Optional[AuthResponse]] = [None] * len(devices)
+    groups: Dict[int, List[int]] = {}
+    planes: Dict[int, object] = {}
+    for position, device in enumerate(devices):
+        if (device.plane is None or device.plane_row is None
+                or device.current_response is None):
+            messages[position] = device.respond(
+                nonces[device.device_id],
+                tamper_factors.get(device.device_id, 1.0),
+            )
+        else:
+            groups.setdefault(id(device.plane), []).append(position)
+            planes[id(device.plane)] = device.plane
+    for key, positions in groups.items():
+        plane = planes[key]
+        members = [devices[p] for p in positions]
+        stored = np.vstack([device.current_response for device in members])
+        challenges = derive_challenge_batch(
+            stored, members[0].puf.challenge_bits
+        )
+        rows = [device.plane_row for device in members]
+        fresh = plane.evaluate(challenges[:, np.newaxis, :], dies=rows)[:, 0, :]
+        for index, position in enumerate(positions):
+            device = devices[position]
+            messages[position] = device.assemble_response(
+                challenges[index], fresh[index], nonces[device.device_id],
+                tamper_factors.get(device.device_id, 1.0),
+            )
+    return messages
 
 
 @dataclass
@@ -254,8 +346,8 @@ class BatchVerifier:
         nonces = {}
         for device_id in device_ids:
             self.registry.record(device_id)  # fail fast on unknown devices
-            nonce = derive_rng(self.seed, "fleet-nonce", self._nonce_epoch,
-                               self._nonce_counter).bytes(16)
+            nonce = derive_bytes(16, self.seed, "fleet-nonce",
+                                 self._nonce_epoch, self._nonce_counter)
             self._nonce_counter += 1
             nonces[device_id] = nonce
         return nonces
@@ -352,16 +444,23 @@ class BatchVerifier:
         if not valid:
             return report
         # Vectorized unmasking over the whole round: r_{i+1} = m XOR r_i.
+        stored = np.vstack(stored_rows).astype(np.uint8)
         new_responses = np.bitwise_xor(
-            np.vstack(masked_rows).astype(np.uint8),
-            np.vstack(stored_rows).astype(np.uint8),
+            np.vstack(masked_rows).astype(np.uint8), stored,
         )
+        # The confirmation MAC proves knowledge of c_{i+1}; gather every
+        # accepted device's derivation into one batched DRBG expansion.
+        challenge_bits = [
+            self.registry.record(r.device_id).challenge_bits for r in valid
+        ]
+        if len(set(challenge_bits)) == 1:
+            challenges = derive_challenge_batch(stored, challenge_bits[0])
+        else:
+            challenges = [derive_challenge(stored[row], challenge_bits[row])
+                          for row in range(len(valid))]
         for row, response in enumerate(valid):
-            record = self.registry.record(response.device_id)
-            challenge = derive_challenge(record.current_response,
-                                         record.challenge_bits)
             confirmation = compute_mac(
-                encode_fields([_pad_bits(challenge),
+                encode_fields([_pad_bits(challenges[row]),
                                nonces[response.device_id]]),
                 _pad_bits(new_responses[row]),
             )
@@ -421,10 +520,14 @@ class BatchVerifier:
                    nonce_epoch=int(state.get("nonce_epoch", 0)) + 1)
 
     def authenticate_fleet(self, devices: Sequence[FleetDevice]) -> BatchAuthReport:
-        """Run one full mutual-auth session for every device, in one call."""
+        """Run one full mutual-auth session for every device, in one call.
+
+        Device turns run through :func:`respond_fleet`: plane-attached
+        devices measure their fresh CRPs in a single stacked tensor pass,
+        everything else falls back to per-device interrogation.
+        """
         nonces = self.open_round([device.device_id for device in devices])
-        responses = [device.respond(nonces[device.device_id])
-                     for device in devices]
+        responses = respond_fleet(devices, nonces)
         report = self.verify_round(responses, nonces)
         for device in devices:
             confirmation = report.confirmations.get(device.device_id)
@@ -456,17 +559,38 @@ class BatchVerifier:
         rng = derive_rng(self.seed, "fleet-spot", self._nonce_epoch,
                          self._nonce_counter)
         self._nonce_counter += 1
-        fresh_rows: List[np.ndarray] = []
+        # Draw every device's burn indices first (one shared RNG stream,
+        # in fleet order), then harvest: plane-attached devices answer
+        # their k challenges as rows of one stacked pass per plane.
+        challenge_rows: List[np.ndarray] = []
         expected_rows: List[np.ndarray] = []
         ids: List[str] = []
         for device in devices:
             record = self.registry.record(device.device_id)
             indices = self.registry.draw_spot_indices(device.device_id, k, rng)
-            fresh_rows.append(
-                device.spot_responses(record.crp_challenges[indices])
-            )
+            challenge_rows.append(record.crp_challenges[indices])
             expected_rows.append(record.crp_responses[indices])
             ids.append(device.device_id)
+        fresh_rows: List[Optional[np.ndarray]] = [None] * len(devices)
+        groups: Dict[int, List[int]] = {}
+        planes: Dict[int, object] = {}
+        for position, device in enumerate(devices):
+            if device.plane is None or device.plane_row is None:
+                fresh_rows[position] = device.spot_responses(
+                    challenge_rows[position]
+                )
+            else:
+                groups.setdefault(id(device.plane), []).append(position)
+                planes[id(device.plane)] = device.plane
+        for key, positions in groups.items():
+            plane = planes[key]
+            rows = [devices[p].plane_row for p in positions]
+            stacked = plane.evaluate(
+                np.stack([challenge_rows[p] for p in positions]), dies=rows
+            )
+            for index, position in enumerate(positions):
+                fresh_rows[position] = np.asarray(stacked[index],
+                                                  dtype=np.uint8)
         fresh = np.stack(fresh_rows)        # (fleet, k, response_bits)
         expected = np.stack(expected_rows)
         distances = np.mean(fresh != expected, axis=(1, 2))
@@ -482,21 +606,49 @@ def provision_fleet(
     n_devices: int,
     seed: int = 0,
     n_spot_crps: int = 0,
+    stacked: bool = True,
     **puf_kwargs,
 ):
     """Build, provision and enroll a whole fleet from one die family.
 
     Returns ``(registry, devices, verifier)``.  Every die shares the
-    design of :func:`photonic_strong_family`; enrollment harvests the
-    rolling CRP and the optional spot-check pool through the compiled
-    engine's batch path.
+    design of :func:`photonic_strong_family`.
+
+    With ``stacked`` (default), the whole family is compiled **once**
+    into a fleet-stacked execution plane
+    (:class:`~repro.puf.photonic_strong.PhotonicFleet`): provisioning
+    responses and the optional spot-check pools are harvested as single
+    stacked tensor passes, and every device is plane-attached so
+    subsequent :meth:`BatchVerifier.authenticate_fleet` rounds run one
+    pass per round.  ``stacked=False`` forces the per-die path (one
+    compile and one batch-1 interrogation per device) — the provisioning
+    baseline the fleet-throughput benchmark pins against.
     """
     family = photonic_strong_family(n_devices, seed=seed, **puf_kwargs)
     registry = FleetRegistry()
-    devices: List[FleetDevice] = []
-    for die in range(n_devices):
-        device = FleetDevice(f"dev-{die:06d}", family.device(die))
-        device.provision(seed)
-        registry.enroll(device, n_spot_crps=n_spot_crps, seed=seed)
-        devices.append(device)
+    plane = family.stack() if stacked else None
+    if plane is None:
+        devices: List[FleetDevice] = []
+        for die in range(n_devices):
+            device = FleetDevice(f"dev-{die:06d}", family.device(die))
+            device.provision(seed)
+            registry.enroll(device, n_spot_crps=n_spot_crps, seed=seed)
+            devices.append(device)
+        return registry, devices, BatchVerifier(registry, seed=seed)
+    pufs = plane.pufs
+    devices = [FleetDevice(f"dev-{die:06d}", pufs[die])
+               for die in range(n_devices)]
+    # Manufacturing-time measurement of every die's enrollment CRP in one
+    # stacked pass (same challenge streams and noise realisations as the
+    # per-die FleetDevice.provision path).
+    challenges = np.stack([
+        provisioning_challenge(seed, device.device_id,
+                               pufs[0].challenge_bits)
+        for device in devices
+    ])
+    responses = plane.evaluate(challenges[:, np.newaxis, :])[:, 0, :]
+    for die, device in enumerate(devices):
+        device.current_response = np.asarray(responses[die], dtype=np.uint8)
+        device.attach_plane(plane, die)
+    registry.enroll_fleet(devices, n_spot_crps=n_spot_crps, seed=seed)
     return registry, devices, BatchVerifier(registry, seed=seed)

@@ -23,7 +23,12 @@ from repro.photonics.constants import (
     REFERENCE_TEMPERATURE_C,
     SILICON_DN_DT,
 )
-from repro.photonics.engine import CompiledMesh, environment_cache_key
+from repro.photonics.engine import (
+    CompiledMesh,
+    environment_cache_key,
+    stacked_ring_scan,
+)
+from repro.photonics.fleet_engine import CompiledFleet
 from repro.photonics.mesh import (
     DiscreteTimeRing,
     MixingLayer,
@@ -57,8 +62,10 @@ __all__ = [
     "DEFAULT_WAVELENGTH",
     "REFERENCE_TEMPERATURE_C",
     "SILICON_DN_DT",
+    "CompiledFleet",
     "CompiledMesh",
     "environment_cache_key",
+    "stacked_ring_scan",
     "DiscreteTimeRing",
     "MixingLayer",
     "PassiveScrambler",

@@ -17,15 +17,12 @@ wavelength, environment):
   bank is applied in one vectorized recurrence.
 
 Propagation then evaluates ``(batch, n_channels, n_samples)`` field
-tensors with ``einsum`` for the mixing stages and a block recurrence for
-the rings — no Python loops over channels or batch.  Because every ring in
-a bank shares the same round-trip delay ``D``, its difference equation
-
-    y[n] = tau * x[n] - rho * x[n - D] + tau * rho * y[n - D]
-
-couples samples only at distance ``D``: grouping samples into consecutive
-length-``D`` blocks turns the bank into a first-order recurrence over
-blocks, evaluated with ``(batch, n_channels, D)`` tensor ops.
+tensors with ``einsum`` for the mixing stages and one stacked scan per
+ring bank (:func:`stacked_ring_scan`) — no Python loops over channels or
+batch.  The same scan serves the fleet-stacked engine
+(:mod:`repro.photonics.fleet_engine`), where the rings axis is the whole
+``fleet x channels`` plane and a single call replaces what used to be one
+``_ring_bank`` invocation per device per stage.
 """
 
 from __future__ import annotations
@@ -39,8 +36,8 @@ from repro.photonics.variation import OpticalEnvironment
 
 _NOMINAL_ENV = OpticalEnvironment()
 
-# Per-tile field-tensor budget for cache blocking in CompiledMesh.propagate:
-# a tile (plus the scan's temporaries) should fit the last-level cache.
+# Per-tile field-tensor budget for cache blocking in propagate(): a tile
+# (plus the scan's temporaries) should fit the last-level cache.
 _TILE_TARGET_BYTES = 2_500_000
 
 
@@ -53,6 +50,56 @@ def environment_cache_key(
     added after propagation, so SNR sweeps share one compilation.
     """
     return (float(wavelength), float(env.temperature_c), float(env.laser_power_mw))
+
+
+def stacked_ring_scan(
+    fields: np.ndarray,
+    tau: np.ndarray,
+    rho: np.ndarray,
+    feedback: np.ndarray,
+    delay: int,
+) -> np.ndarray:
+    """Apply a whole bank of all-pass rings in one stacked pass.
+
+    ``fields`` is ``(..., n_samples)`` with any leading layout — the rings
+    axis (channels, or ``fleet x channels`` for the stacked fleet engine)
+    lives among the leading dimensions.  ``tau`` / ``rho`` / ``feedback``
+    are the per-ring coefficients, broadcastable against ``fields`` with a
+    trailing sample axis of length 1 (e.g. ``(n, 1)`` for a mesh bank,
+    ``(fleet, 1, n, 1)`` for a fleet bank).
+
+    Every ring couples samples only at distance ``delay``, so with samples
+    grouped into consecutive length-``delay`` blocks the bank is the
+    first-order recurrence
+
+        y_k = u_k + A y_{k-1},   u_k = tau x_k - rho x_{k-1},   A = tau rho
+
+    over blocks.  The drive term is built with two whole-tensor
+    operations, then the recurrence runs block-major: the block axis is
+    moved to the front so each step is one contiguous multiply-add over
+    the entire stacked rings plane — one scan per bank regardless of how
+    many devices are stacked, instead of one Python-level filter per ring.
+    Agrees with the ``scipy.signal.lfilter`` reference to round-off.
+    """
+    lead = fields.shape[:-1]
+    n_samples = fields.shape[-1]
+    blocks = -(-n_samples // delay)
+    padding = blocks * delay - n_samples
+    x = fields
+    if padding:
+        x = np.concatenate(
+            [x, np.zeros((*lead, padding), dtype=fields.dtype)], axis=-1
+        )
+    u = tau * x
+    u[..., delay:] -= rho * x[..., :-delay]
+    # Block-major layout: step k touches one contiguous slab.
+    w = np.ascontiguousarray(
+        np.moveaxis(u.reshape(*lead, blocks, delay), -2, 0)
+    )
+    for k in range(1, blocks):
+        w[k] += feedback * w[k - 1]
+    out = np.moveaxis(w, 0, -2).reshape(*lead, blocks * delay)
+    return out[..., :n_samples] if padding else out
 
 
 @dataclass(frozen=True)
@@ -123,14 +170,15 @@ class CompiledMesh:
     def _ring_bank(self, stage: int, fields: np.ndarray) -> np.ndarray:
         """Apply one bank of per-channel rings to ``(batch, n, S)`` fields.
 
-        With the samples grouped into length-``D`` blocks the bank is the
-        first-order recurrence ``y_k = u_k + A y_{k-1}`` with per-channel
-        ``A = tau * rho`` and drive ``u_k = tau x_k - rho x_{k-1}``.  The
-        closed form ``y_k = sum_j A^{k-j} u_j`` is evaluated by
-        prefix-doubling: log2(blocks) passes, each one whole-tensor
-        multiply-add, instead of a Python loop over blocks.  Agrees with
-        the ``scipy.signal.lfilter`` reference to round-off (|A| < 1, so
-        the doubled powers only ever decay).
+        Uses the rescaled prefix-sum form of the block recurrence (see
+        :func:`stacked_ring_scan` for the recurrence itself): with the
+        drive pre-scaled by ``A^{-k}``, ``y_k = A^k cumsum(A^{-j} u_j)``
+        evaluates the whole bank in a handful of whole-tensor passes with
+        cached per-sample coefficient tensors.  For the small per-block
+        slabs of a single die this beats the block-major loop (whose
+        per-step Python overhead would dominate at ``n_channels x delay``
+        elements per block); the fleet engine stacks thousands of rings
+        per slab and uses the loop form instead.
         """
         delay = self.delay_samples
         batch, n, n_samples = fields.shape

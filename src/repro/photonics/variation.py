@@ -10,12 +10,12 @@ Gaussian term, the standard decomposition used in variation-aware design.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.photonics.constants import REFERENCE_TEMPERATURE_C
-from repro.utils.rng import derive_rng
+from repro.utils.rng import derive_rng, derive_standard_normals
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,15 @@ class VariationModel:
             die_index=die_index,
         )
 
+    def sample_dies(self, root_seed: int, die_indices) -> list:
+        """Draw a whole wafer's worth of dies in one call.
+
+        The batched entry point of the fleet-stacked compilation path:
+        each die's state is identical to :meth:`sample_die` (same derived
+        streams), just gathered for stacking.
+        """
+        return [self.sample_die(root_seed, int(die)) for die in die_indices]
+
 
 @dataclass(frozen=True)
 class DieVariation:
@@ -71,6 +80,26 @@ class DieVariation:
         """Total effective-index offset for a named component."""
         rng = derive_rng(self.rng_seed, "die", self.die_index, "neff", component_label)
         return self.neff_global + float(rng.normal(0.0, self.model.sigma_neff_local))
+
+    def neff_offsets(self, component_labels) -> "np.ndarray":
+        """Gathered :meth:`neff_offset` over many components.
+
+        The stacked-compile fast path: identical values (same derived
+        streams, via :func:`repro.utils.rng.derive_standard_normals`)
+        with the per-component generator setup amortised over the batch.
+        """
+        draws = derive_standard_normals(
+            self.rng_seed, ("die", self.die_index, "neff"), component_labels
+        )
+        return self.neff_global + self.model.sigma_neff_local * draws
+
+    def coupling_factors(self, component_labels) -> "np.ndarray":
+        """Gathered :meth:`coupling_factor` over many components."""
+        draws = derive_standard_normals(
+            self.rng_seed, ("die", self.die_index, "coupling"),
+            component_labels,
+        )
+        return np.maximum(1e-3, 1.0 + self.model.sigma_coupling * draws)
 
     def coupling_factor(self, component_label: str) -> float:
         """Multiplicative deviation of a power-coupling coefficient (clipped > 0)."""

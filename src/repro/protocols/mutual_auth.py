@@ -96,21 +96,57 @@ def derive_challenge(response: BitArray, n_bits: int) -> BitArray:
     return bits_from_bytes(raw)[:n_bits]
 
 
+def derive_challenge_batch(responses, n_bits: int) -> np.ndarray:
+    """Gathered c_{i+1} derivation for a whole round of sessions.
+
+    ``responses`` is ``(n_devices, response_bits)`` (one current response
+    per row); returns the ``(n_devices, n_bits)`` stacked next challenges.
+    Each row's DRBG stream is identical to :func:`derive_challenge` — the
+    DRBG keying is inherently per-secret — while the packing of the
+    response rows and the expansion of the output bytes into challenge
+    bits run vectorized over the whole round.  This is the gather step
+    that lets the fleet verifier run one stacked tensor pass for every
+    device's fresh measurement.
+    """
+    matrix = np.atleast_2d(np.asarray(responses, dtype=np.uint8))
+    n_bytes = math.ceil(n_bits / 8)
+    pad = (-matrix.shape[1]) % 8
+    if pad:
+        padded = np.concatenate(
+            [matrix, np.zeros((matrix.shape[0], pad), dtype=np.uint8)], axis=1
+        )
+    else:
+        padded = matrix
+    packed = np.packbits(padded, axis=1)
+    raw = b"".join(
+        HmacDrbg(row.tobytes(), personalization=b"hsc-iot-challenge")
+        .generate(n_bytes)
+        for row in packed
+    )
+    bits = np.unpackbits(
+        np.frombuffer(raw, dtype=np.uint8).reshape(matrix.shape[0], n_bytes),
+        axis=1,
+    )
+    return bits[:, :n_bits]
+
+
 def mask_integrity(firmware_hash: bytes, clock_count: int) -> bytes:
     """The H XOR CC integrity field of Fig. 4 (shared with the fleet path)."""
-    cc_bytes = clock_count.to_bytes(8, "big")
-    return bytes(h ^ c for h, c in zip(
-        firmware_hash, cc_bytes.rjust(len(firmware_hash), b"\x00")))
+    width = len(firmware_hash)
+    cc_bytes = clock_count.to_bytes(8, "big").rjust(width, b"\x00")[:width]
+    masked = int.from_bytes(firmware_hash, "big") ^ int.from_bytes(cc_bytes, "big")
+    return masked.to_bytes(width, "big")
 
 
 def unmask_clock_count(integrity: bytes, expected_hash: bytes) -> int:
     """Recover CC from H XOR CC; reject when the hash does not match."""
-    cc_field = bytes(h ^ i for h, i in zip(expected_hash, integrity))
     if len(integrity) != len(expected_hash):
         raise AuthenticationFailure(
             f"integrity field is {len(integrity)} bytes, "
             f"expected {len(expected_hash)}", FailureKind.MALFORMED,
         )
+    unmasked = int.from_bytes(expected_hash, "big") ^ int.from_bytes(integrity, "big")
+    cc_field = unmasked.to_bytes(len(expected_hash), "big")
     if any(cc_field[:-8]):
         raise AuthenticationFailure("firmware hash mismatch",
                                     FailureKind.FIRMWARE_MISMATCH)

@@ -19,7 +19,11 @@ from repro.puf.base import (
 )
 from repro.puf.composite import CompositePUF
 from repro.puf.encrypted import ChallengeEncryptedPUF
-from repro.puf.photonic_strong import PhotonicStrongPUF, photonic_strong_family
+from repro.puf.photonic_strong import (
+    PhotonicFleet,
+    PhotonicStrongPUF,
+    photonic_strong_family,
+)
 from repro.puf.photonic_weak import PhotonicWeakPUF, photonic_weak_family
 from repro.puf.ro import ROPUF
 from repro.puf.sram import SRAMPUF
@@ -39,6 +43,7 @@ __all__ = [
     "WeakPUF",
     "CompositePUF",
     "ChallengeEncryptedPUF",
+    "PhotonicFleet",
     "PhotonicStrongPUF",
     "photonic_strong_family",
     "PhotonicWeakPUF",

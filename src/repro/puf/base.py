@@ -212,6 +212,9 @@ class PUFFamily:
             raise ValueError("a family needs at least one device")
         self._factory = factory
         self.n_devices = n_devices
+        self._instances: Optional[List[PUF]] = None
+        self._plane = None
+        self._plane_built = False
 
     def device(self, index: int) -> PUF:
         if not 0 <= index < self.n_devices:
@@ -222,24 +225,69 @@ class PUFFamily:
         for index in range(self.n_devices):
             yield self.device(index)
 
+    def instances(self) -> List[PUF]:
+        """Every die of the family, instantiated once and cached.
+
+        Unlike :meth:`devices` (a fresh instance per iteration), the
+        cached list preserves per-device state such as measurement
+        counters — which is what fleet provisioning and the stacked
+        execution plane operate on.
+        """
+        if self._instances is None:
+            self._instances = [self.device(i) for i in range(self.n_devices)]
+        return self._instances
+
+    def stack(self):
+        """The family's stacked execution plane, or ``None``.
+
+        Devices advertising a ``try_stack`` classmethod (the photonic
+        strong PUF returns a
+        :class:`~repro.puf.photonic_strong.PhotonicFleet`) are stacked
+        into fleet-wide tensors compiled in one pass; families without a
+        stacked plane return ``None`` and callers use the per-die path.
+        """
+        if not self._plane_built:
+            devices = self.instances()
+            stacker = getattr(type(devices[0]), "try_stack", None)
+            # Memoized: the plane carries the compiled-fleet cache, so
+            # repeated stacked calls reuse one compilation.
+            self._plane = None if stacker is None else stacker(devices)
+            self._plane_built = True
+        return self._plane
+
     def response_matrix(
         self,
         challenges: Sequence[Sequence[int]],
         env: PUFEnvironment = NOMINAL_ENV,
         measurement: Optional[int] = 0,
         batched: bool = True,
+        stacked: bool = True,
     ) -> np.ndarray:
         """(n_devices, n_challenges * response_bits) response matrix.
 
-        Devices exposing ``evaluate_batch`` (the photonic strong PUF routes
-        it through the compiled engine) answer all challenges in one
-        vectorized pass per die; others fall back to per-challenge
-        evaluation.  Pass ``batched=False`` to force the legacy path, whose
-        noise realisation is shared across challenges of one device.
+        With ``stacked`` (default), families whose devices stack into a
+        fleet plane answer every (die, challenge) pair in one fleet-wide
+        tensor pass.  Devices exposing ``evaluate_batch`` (the photonic
+        strong PUF routes it through the compiled engine) otherwise answer
+        all challenges in one vectorized pass per die; others fall back to
+        per-challenge evaluation.  Pass ``batched=False`` to force the
+        legacy path, whose noise realisation is shared across challenges
+        of one device.
         """
         challenge_matrix = np.vstack([
             np.asarray(c, dtype=np.uint8) for c in challenges
         ])
+        if batched and stacked:
+            plane = self.stack()
+            if plane is not None:
+                tiled = np.broadcast_to(
+                    challenge_matrix,
+                    (self.n_devices, *challenge_matrix.shape),
+                )
+                responses = plane.evaluate(tiled, env, measurements=measurement)
+                return np.asarray(responses, dtype=np.uint8).reshape(
+                    self.n_devices, -1
+                )
         rows: List[np.ndarray] = []
         for device in self.devices():
             if batched and hasattr(device, "evaluate_batch"):

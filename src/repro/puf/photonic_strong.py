@@ -12,15 +12,25 @@ Because of the ring memory, the energy in slot ``n`` depends on challenge
 bits ``.. n-2, n-1, n`` (reservoir-like temporal mixing), which is what
 breaks the additive linear structure that makes electronic arbiter PUFs
 learnable (paper Sec. IV).
+
+Two execution planes serve interrogations:
+
+* per device, :class:`~repro.photonics.engine.CompiledMesh` via an
+  environment-keyed compilation cache (``slot_energies_batch``);
+* per fleet, :class:`PhotonicFleet` stacks every die of a family into one
+  :class:`~repro.photonics.fleet_engine.CompiledFleet` so a whole fleet's
+  interrogations run as a single tensor pass — the engine behind
+  ``repro.fleet``'s batch authentication.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.photonics.engine import CompiledMesh, environment_cache_key
+from repro.photonics.fleet_engine import CompiledFleet
 from repro.photonics.mesh import PassiveScrambler
 from repro.photonics.receiver import Photodiode
 from repro.photonics.sources import Laser, MachZehnderModulator
@@ -87,6 +97,7 @@ class PhotonicStrongPUF(StrongPUF):
         self.seed = seed
         self.die_index = die_index
         self.noise_mw = noise_mw
+        self.with_memory = with_memory
         # Fraction of the ambient excursion removed by the on-chip
         # temperature controller the paper plans for interferometric
         # stability (Sec. II-B: "hardware approaches based on the
@@ -126,11 +137,22 @@ class PhotonicStrongPUF(StrongPUF):
                     break
             slot -= 1
         self._assignments = assignments
+        self._assignment_slots = np.array([s for (s, __) in assignments])
+        self._assignment_pairs = np.array([p for (__, p) in assignments])
 
     @property
     def total_slots(self) -> int:
         """Modulated challenge slots plus dark guard slots."""
         return self.challenge_bits + self.guard_slots
+
+    @property
+    def launch_channel(self) -> int:
+        """Input channel of the modulated light.
+
+        Launching on the middle channel halves the mixing depth needed to
+        reach the outermost photodiodes.
+        """
+        return self.n_channels // 2
 
     def _optical_env(self, env: PUFEnvironment) -> OpticalEnvironment:
         residual = (env.temperature_c - 25.0) * (1.0 - self.thermal_stabilization)
@@ -158,6 +180,15 @@ class PhotonicStrongPUF(StrongPUF):
     def engine_cache_size(self) -> int:
         """Number of operating points currently compiled."""
         return len(self._engine_cache)
+
+    def _next_measurement(self) -> int:
+        measurement = self._measurement_counter
+        self._measurement_counter += 1
+        return measurement
+
+    def _noise_rng(self, measurement: int) -> np.random.Generator:
+        return derive_rng(self.seed, "pspuf", self.die_index, "noise",
+                          measurement)
 
     def slot_energies(
         self,
@@ -195,21 +226,18 @@ class PhotonicStrongPUF(StrongPUF):
         if compiled is None:
             compiled = self.use_engine
         if measurement is None:
-            measurement = self._measurement_counter
-            self._measurement_counter += 1
+            measurement = self._next_measurement()
         spb = self.modulator.samples_per_bit
         n_samples = self.modulator.n_samples(self.total_slots)
         optical = self._optical_env(env)
-        rng = derive_rng(self.seed, "pspuf", self.die_index, "noise", measurement)
+        rng = self._noise_rng(measurement)
 
         carrier = np.full(n_samples, self.laser.field_amplitude(),
                           dtype=np.complex128)
         batch = challenges.shape[0]
         guard = np.zeros((batch, self.guard_slots), dtype=np.uint8)
         words = np.hstack([challenges, guard])
-        # Launching on the middle channel halves the mixing depth needed to
-        # reach the outermost photodiodes.
-        launch = self.n_channels // 2
+        launch = self.launch_channel
         fields = np.zeros((batch, self.n_channels, n_samples), dtype=np.complex128)
         if compiled:
             fields[:, launch, :] = self.modulator.modulate_batch(carrier, words)
@@ -226,15 +254,21 @@ class PhotonicStrongPUF(StrongPUF):
         noise = rng.normal(0.0, self.noise_mw * env.noise_scale, size=energies.shape)
         return energies + noise
 
+    def responses_from_energies(self, energies: np.ndarray) -> np.ndarray:
+        """Differential readout: ``(..., n, slots)`` energies to bits.
+
+        One vectorized adjacent-channel comparison over all assignments —
+        shared by the per-device and fleet-stacked planes.
+        """
+        upper = energies[..., self._assignment_pairs, self._assignment_slots]
+        lower = energies[..., self._assignment_pairs + 1, self._assignment_slots]
+        return (upper > lower).astype(np.uint8)
+
     def _evaluate(
         self, challenge: BitArray, env: PUFEnvironment, measurement: int
     ) -> BitArray:
         energies = self.slot_energies(challenge, env, measurement)
-        bits = [
-            1 if energies[pair, slot] > energies[pair + 1, slot] else 0
-            for (slot, pair) in self._assignments
-        ]
-        return np.array(bits, dtype=np.uint8)
+        return self.responses_from_energies(energies)
 
     def evaluate_batch(
         self,
@@ -246,12 +280,16 @@ class PhotonicStrongPUF(StrongPUF):
         """(batch, response_bits) responses for a matrix of challenges."""
         energies = self.slot_energies_batch(challenges, env, measurement,
                                             compiled=compiled)
-        columns = []
-        for (slot, pair) in self._assignments:
-            columns.append(
-                (energies[:, pair, slot] > energies[:, pair + 1, slot]).astype(np.uint8)
-            )
-        return np.stack(columns, axis=1)
+        return self.responses_from_energies(energies)
+
+    @classmethod
+    def try_stack(cls, pufs: Sequence["PhotonicStrongPUF"]):
+        """A :class:`PhotonicFleet` over ``pufs``, or ``None`` if they
+        cannot stack (heterogeneous geometry, design, or readout chain)."""
+        try:
+            return PhotonicFleet(pufs)
+        except (ValueError, TypeError):
+            return None
 
     def interrogation_time_s(self) -> float:
         """Wall-clock duration of one interrogation (incl. guard slots)."""
@@ -271,6 +309,245 @@ class PhotonicStrongPUF(StrongPUF):
     def throughput_bits_per_s(self) -> float:
         """Challenge consumption rate of the interrogation chain."""
         return self.modulator.bit_rate
+
+
+class PhotonicFleet:
+    """Stacked execution plane over a homogeneous family of photonic PUFs.
+
+    Validates at construction that every device shares one interrogation
+    chain (challenge/response geometry, modulator, laser, noise model,
+    thermal stabilisation) and one scrambler design, then serves whole-
+    fleet interrogations through a single
+    :class:`~repro.photonics.fleet_engine.CompiledFleet`:
+
+    * :meth:`slot_energies` — full ``(fleet, batch, channels, slots)``
+      energy maps via the batched spectral-convolution path;
+    * :meth:`evaluate` — response bits only, touching just the bit-slot
+      samples the differential readout compares (two real GEMMs for the
+      whole fleet).
+
+    Per-device noise streams and measurement counters advance exactly as
+    they would under per-device interrogation, so a fleet pass is
+    bit-compatible with running each die alone.
+    """
+
+    def __init__(self, pufs: Sequence[PhotonicStrongPUF]):
+        pufs = list(pufs)
+        if not pufs:
+            raise ValueError("cannot stack an empty fleet")
+        base = pufs[0]
+        for puf in pufs[1:]:
+            if (puf.challenge_bits != base.challenge_bits
+                    or puf.response_bits != base.response_bits
+                    or puf.n_channels != base.n_channels
+                    or puf.guard_slots != base.guard_slots
+                    or puf.seed != base.seed
+                    or puf.noise_mw != base.noise_mw
+                    or puf.thermal_stabilization != base.thermal_stabilization
+                    or puf.modulator != base.modulator
+                    or puf.laser != base.laser
+                    or puf.with_memory != base.with_memory
+                    or puf.scrambler.n_stages != base.scrambler.n_stages
+                    or puf.scrambler.ring_delay_samples
+                    != base.scrambler.ring_delay_samples):
+                raise ValueError(
+                    "fleet stacking requires devices sharing one "
+                    "interrogation chain and design"
+                )
+        self.pufs = pufs
+        self._fleet_cache: Dict[Tuple, CompiledFleet] = {}
+
+    def __len__(self) -> int:
+        return len(self.pufs)
+
+    @property
+    def base(self) -> PhotonicStrongPUF:
+        return self.pufs[0]
+
+    # -- compilation -------------------------------------------------------
+
+    def _env_list(self, env) -> List[PUFEnvironment]:
+        if isinstance(env, PUFEnvironment):
+            return [env] * len(self.pufs)
+        env = list(env)
+        if len(env) != len(self.pufs):
+            raise ValueError(
+                f"got {len(env)} environments for {len(self.pufs)} dies"
+            )
+        return env
+
+    def compiled_fleet(self, env=NOMINAL_ENV) -> CompiledFleet:
+        """The stacked engine for ``env`` (one or per-die), cached.
+
+        Like the per-die cache, the key ignores detection noise: receiver
+        noise is added after propagation.
+        """
+        env_list = self._env_list(env)
+        wavelength = self.base.laser.wavelength
+        opticals = [puf._optical_env(e)
+                    for puf, e in zip(self.pufs, env_list)]
+        key = tuple(environment_cache_key(wavelength, optical)
+                    for optical in opticals)
+        fleet = self._fleet_cache.get(key)
+        if fleet is None:
+            fleet = CompiledFleet.compile(
+                [puf.scrambler for puf in self.pufs], wavelength, opticals
+            )
+            self._fleet_cache[key] = fleet
+        return fleet
+
+    def fleet_cache_size(self) -> int:
+        return len(self._fleet_cache)
+
+    def memory_footprint_bytes(self) -> int:
+        """Stacked operators + response kernels across cached environments."""
+        return sum(fleet.memory_footprint_bytes()
+                   for fleet in self._fleet_cache.values())
+
+    # -- interrogation -----------------------------------------------------
+
+    def _select(self, dies) -> List[int]:
+        if dies is None:
+            return list(range(len(self.pufs)))
+        return [int(d) for d in dies]
+
+    def _measurement_list(self, measurements, rows: List[int]) -> List[int]:
+        if measurements is None:
+            return [self.pufs[row]._next_measurement() for row in rows]
+        if np.isscalar(measurements):
+            return [int(measurements)] * len(rows)
+        measurements = [int(m) for m in measurements]
+        if len(measurements) != len(rows):
+            raise ValueError(
+                f"got {len(measurements)} measurement indices for "
+                f"{len(rows)} dies"
+            )
+        return measurements
+
+    def _drive_waves(self, challenges: np.ndarray) -> np.ndarray:
+        """(fleet_sel, batch, n_samples) real drive waveforms."""
+        base = self.base
+        sel, batch, bits = challenges.shape
+        if bits != base.challenge_bits:
+            raise ValueError(
+                f"challenges must have {base.challenge_bits} bits, got {bits}"
+            )
+        guard = np.zeros((sel * batch, base.guard_slots), dtype=np.uint8)
+        words = np.hstack([
+            challenges.reshape(sel * batch, bits).astype(np.uint8), guard
+        ])
+        waves = base.modulator.drive_waveform_batch(words)
+        waves *= base.laser.field_amplitude()
+        n_samples = base.modulator.n_samples(base.total_slots)
+        return waves.reshape(sel, batch, n_samples)
+
+    def _noise(self, rows, measurements, env_list, shape) -> np.ndarray:
+        """Per-die detection noise, identical to the per-device streams."""
+        base = self.base
+        noise = np.empty(shape)
+        for position, row in enumerate(rows):
+            rng = self.pufs[row]._noise_rng(measurements[position])
+            noise[position] = rng.normal(
+                0.0,
+                base.noise_mw * env_list[row].noise_scale,
+                size=shape[1:],
+            )
+        return noise
+
+    def slot_energies(
+        self,
+        challenges: np.ndarray,
+        env=NOMINAL_ENV,
+        measurements=None,
+        dies=None,
+    ) -> np.ndarray:
+        """(fleet_sel, batch, n_channels, total_slots) energies (mW).
+
+        ``challenges`` is ``(fleet_sel, batch, challenge_bits)``;
+        ``measurements`` follows the per-device convention — ``None``
+        draws a fresh noise realisation per die (advancing each device's
+        counter), a scalar pins one realisation for all, a sequence pins
+        one per die.  ``dies`` selects a subset of stacked devices.
+        """
+        base = self.base
+        challenges = np.asarray(challenges, dtype=np.uint8)
+        if challenges.ndim != 3:
+            raise ValueError(
+                "fleet challenges must be (fleet, batch, challenge_bits)"
+            )
+        rows = self._select(dies)
+        if challenges.shape[0] != len(rows):
+            raise ValueError(
+                f"challenges stack {challenges.shape[0]} dies, "
+                f"selection names {len(rows)}"
+            )
+        env_list = self._env_list(env)
+        measurements = self._measurement_list(measurements, rows)
+        fleet = self.compiled_fleet(env_list)
+        waves = self._drive_waves(challenges)
+        out = fleet.modulated_response(waves, base.launch_channel, dies=rows)
+        power = out.real ** 2 + out.imag ** 2
+        spb = base.modulator.samples_per_bit
+        energies = power.reshape(
+            len(rows), challenges.shape[1], base.n_channels,
+            base.total_slots, spb,
+        ).mean(axis=4)
+        energies += self._noise(rows, measurements, env_list, energies.shape)
+        return energies
+
+    def evaluate(
+        self,
+        challenges: np.ndarray,
+        env=NOMINAL_ENV,
+        measurements=None,
+        dies=None,
+    ) -> np.ndarray:
+        """(fleet_sel, batch, response_bits) responses, bit-slot-trimmed.
+
+        The differential readout only compares energies in the assignment
+        slots, so this path evaluates exactly those output samples
+        (:meth:`CompiledFleet.response_power_at`) instead of the full
+        stream.  Noise streams still consume the full per-die draw, so
+        results match :meth:`slot_energies` + readout bit for bit.
+        """
+        base = self.base
+        challenges = np.asarray(challenges, dtype=np.uint8)
+        if challenges.ndim != 3:
+            raise ValueError(
+                "fleet challenges must be (fleet, batch, challenge_bits)"
+            )
+        rows = self._select(dies)
+        if challenges.shape[0] != len(rows):
+            raise ValueError(
+                f"challenges stack {challenges.shape[0]} dies, "
+                f"selection names {len(rows)}"
+            )
+        env_list = self._env_list(env)
+        measurements = self._measurement_list(measurements, rows)
+        fleet = self.compiled_fleet(env_list)
+        waves = self._drive_waves(challenges)
+        spb = base.modulator.samples_per_bit
+        slots = np.unique(base._assignment_slots)
+        samples = (slots[:, np.newaxis] * spb + np.arange(spb)).reshape(-1)
+        power = fleet.response_power_at(
+            waves, samples, base.launch_channel, dies=rows
+        )
+        batch = challenges.shape[1]
+        energies = power.reshape(
+            len(rows), batch, base.n_channels, slots.size, spb
+        ).mean(axis=4)
+        # The noise stream is drawn at full (n, total_slots) resolution —
+        # per-device equivalence requires consuming the identical draw —
+        # then subset to the compared slots.
+        noise = self._noise(
+            rows, measurements, env_list,
+            (len(rows), batch, base.n_channels, base.total_slots),
+        )
+        energies += noise[..., slots]
+        slot_position = np.searchsorted(slots, base._assignment_slots)
+        upper = energies[..., base._assignment_pairs, slot_position]
+        lower = energies[..., base._assignment_pairs + 1, slot_position]
+        return (upper > lower).astype(np.uint8)
 
 
 def photonic_strong_family(

@@ -7,8 +7,11 @@ from repro.protocols.mutual_auth import (
     AuthenticationFailure,
     CRPDatabaseVerifier,
     derive_challenge,
+    derive_challenge_batch,
+    mask_integrity,
     provision,
     run_session,
+    unmask_clock_count,
 )
 from repro.system.channel import Channel
 from repro.system.soc import DeviceSoC, SoCConfig
@@ -228,3 +231,38 @@ class TestCRPDatabaseBaseline:
         counterfeit = DeviceSoC(SoCConfig(seed=15, die_index=9,
                                           memory_size=8 * 1024))
         assert not database.authenticate(counterfeit)
+
+
+class TestBatchedChallengeDerivation:
+    def test_matches_per_row_derivation(self):
+        rng = np.random.default_rng(17)
+        responses = rng.integers(0, 2, size=(9, 21), dtype=np.uint8)
+        batched = derive_challenge_batch(responses, 40)
+        for row in range(9):
+            assert np.array_equal(batched[row],
+                                  derive_challenge(responses[row], 40))
+
+    def test_single_row_input(self):
+        response = np.ones(16, dtype=np.uint8)
+        batched = derive_challenge_batch(response, 24)
+        assert batched.shape == (1, 24)
+        assert np.array_equal(batched[0], derive_challenge(response, 24))
+
+
+class TestIntegrityMaskHelpers:
+    def test_mask_round_trips_through_unmask(self):
+        firmware = bytes(range(32))
+        for clock in (0, 1, 99_999, 2**63):
+            masked = mask_integrity(firmware, clock)
+            assert len(masked) == 32
+            assert unmask_clock_count(masked, firmware) == clock
+
+    def test_wrong_hash_detected(self):
+        firmware = bytes(range(32))
+        masked = mask_integrity(firmware, 100_000)
+        with pytest.raises(AuthenticationFailure):
+            unmask_clock_count(masked, bytes(32))
+
+    def test_length_mismatch_detected(self):
+        with pytest.raises(AuthenticationFailure):
+            unmask_clock_count(b"\x00" * 16, bytes(range(32)))
