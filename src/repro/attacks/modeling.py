@@ -169,19 +169,22 @@ def collect_crps(
     env: PUFEnvironment = NOMINAL_ENV,
     response_bit: int = 0,
 ) -> tuple:
-    """(challenges, single-bit responses) for attack training/evaluation."""
+    """(challenges, single-bit responses) for attack training/evaluation.
+
+    Harvesting always goes through ``puf.evaluate_batch`` (every PUF has
+    it — engine-backed devices serve the whole block as one vectorized
+    pass); the old per-challenge ``evaluate`` list comprehension made
+    dataset collection the bottleneck of attack sweeps against compiled
+    targets.
+    """
     rng = np.random.default_rng(seed)
     challenges = rng.integers(0, 2, size=(n_crps, puf.challenge_bits),
                               dtype=np.uint8)
-    if hasattr(puf, "evaluate_batch"):
-        responses = puf.evaluate_batch(challenges, env, measurement=0)
-        responses = np.atleast_2d(responses)
-        if responses.shape[0] != n_crps:  # single-bit batch shape (n,)
-            responses = responses.T
-    else:
-        responses = np.vstack([
-            puf.evaluate(c, env, measurement=0) for c in challenges
-        ])
+    responses = np.atleast_2d(
+        puf.evaluate_batch(challenges, env, measurement=0)
+    )
+    if responses.shape[0] != n_crps:  # single-bit batch shape (n,)
+        responses = responses.T
     bit = responses[:, response_bit] if responses.ndim == 2 else responses
     return challenges, np.asarray(bit, dtype=np.uint8).ravel()
 

@@ -8,7 +8,7 @@ response into a stable key.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import List, Sequence, Set
 
 import numpy as np
 
@@ -72,9 +72,57 @@ class BCHCode:
         self.k = self.n - self.n_parity
         if self.k <= 0:
             raise ValueError(f"t={t} leaves no message bits for m={m}")
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        """Precompute the GF(2) matrices the hot paths multiply against.
+
+        * ``_parity_matrix`` — ``(k, n_parity)`` GF(2) generator-matrix
+          parity block: row ``i`` is ``x^{n_parity + i} mod g(x)``, so
+          systematic encoding is one XOR-reduction (GF(2) matmul) of the
+          rows the message selects instead of a Python long division.
+        * ``_syndrome_table`` — ``(2t, n)`` field elements
+          ``alpha^{i j}``: because the received word is *binary*,
+          ``S_i = r(alpha^i)`` is the XOR of the table columns where
+          ``r`` has a one — all ``2t`` syndromes fall out of one fancy
+          index + XOR reduction.
+        """
+        g_low = np.array(self.generator[: self.n_parity], dtype=np.uint8)
+        parity_rows = np.empty((self.k, self.n_parity), dtype=np.uint8)
+        # x^{n_parity} mod g  =  g(x) - x^{n_parity}  (binary, monic g).
+        row = g_low.copy()
+        for i in range(self.k):
+            parity_rows[i] = row
+            carry = row[-1]
+            row = np.concatenate(([0], row[:-1]))
+            if carry:
+                row ^= g_low
+        self._parity_matrix = parity_rows
+        exp_table = np.asarray(self.field.exp[: self.n], dtype=np.int64)
+        powers = (np.arange(1, 2 * self.t + 1)[:, np.newaxis]
+                  * np.arange(self.n)[np.newaxis, :]) % self.n
+        self._syndrome_table = exp_table[powers]
+        self._exp_table = exp_table
 
     def encode(self, message: Sequence[int]) -> BitArray:
-        """Systematic encoding: message followed by parity bits."""
+        """Systematic encoding: message followed by parity bits.
+
+        One GF(2) matmul — the XOR of the parity-matrix rows the message
+        bits select — replaces the coefficient-list polynomial division;
+        codeword-exact against :meth:`encode_reference`.
+        """
+        message = np.asarray(message, dtype=np.uint8)
+        if message.size != self.k:
+            raise ValueError(f"message must have {self.k} bits, got {message.size}")
+        parity = np.bitwise_xor.reduce(
+            self._parity_matrix[message.astype(bool)], axis=0,
+        )
+        if parity.ndim == 0:  # all-zero message: XOR identity
+            parity = np.zeros(self.n_parity, dtype=np.uint8)
+        return np.concatenate([message, parity[::-1]]).astype(np.uint8)
+
+    def encode_reference(self, message: Sequence[int]) -> BitArray:
+        """Pure-Python polynomial-division encoder (the pinned reference)."""
         message = np.asarray(message, dtype=np.uint8)
         if message.size != self.k:
             raise ValueError(f"message must have {self.k} bits, got {message.size}")
@@ -109,8 +157,31 @@ class BCHCode:
         message = [coefficients[self.n_parity + i] for i in range(self.k)]
         return np.array(message + parity, dtype=np.uint8)
 
+    def _coefficient_mask(self, codeword: np.ndarray) -> np.ndarray:
+        """Boolean coefficient vector of the public [message | parity] word."""
+        mask = np.empty(self.n, dtype=bool)
+        mask[: self.n_parity] = codeword[self.k:][::-1].astype(bool)
+        mask[self.n_parity:] = codeword[: self.k].astype(bool)
+        return mask
+
     def syndromes(self, codeword: Sequence[int]) -> List[int]:
-        """S_i = r(alpha^i) for i = 1..2t."""
+        """S_i = r(alpha^i) for i = 1..2t.
+
+        The received word is binary, so every syndrome is the XOR of the
+        precomputed ``alpha^{i j}`` table columns where the word has a
+        one — one gather + reduction for all ``2t`` evaluations.
+        """
+        codeword = np.asarray(codeword, dtype=np.uint8)
+        if codeword.size != self.n:
+            raise ValueError(f"codeword must have {self.n} bits")
+        mask = self._coefficient_mask(codeword)
+        gathered = self._syndrome_table[:, mask]
+        if gathered.shape[1] == 0:
+            return [0] * (2 * self.t)
+        return [int(s) for s in np.bitwise_xor.reduce(gathered, axis=1)]
+
+    def syndromes_reference(self, codeword: Sequence[int]) -> List[int]:
+        """Horner-rule syndrome evaluation (the pinned reference)."""
         codeword = np.asarray(codeword, dtype=np.uint8)
         if codeword.size != self.n:
             raise ValueError(f"codeword must have {self.n} bits")
@@ -165,11 +236,17 @@ class BCHCode:
         if n_errors > self.t:
             raise BCHDecodingError("error locator degree exceeds t")
         # Chien search: sigma(alpha^{-j}) == 0 <=> error at coefficient j.
-        error_positions = []
-        for j in range(self.n):
-            if self.field.poly_eval(sigma, self.field.alpha_pow(-j)) == 0:
-                error_positions.append(j)
-        if len(error_positions) != n_errors:
+        # sigma(alpha^{-j}) = XOR_i alpha^{log(sigma_i) - i j}; evaluating
+        # all n positions is one exponent matrix + table gather + XOR
+        # reduction over sigma's nonzero coefficients.
+        nonzero = np.flatnonzero(np.asarray(sigma, dtype=np.int64))
+        logs = np.array([self.field.log[sigma[i]] for i in nonzero],
+                        dtype=np.int64)
+        exponents = (logs[np.newaxis, :]
+                     - np.arange(self.n)[:, np.newaxis] * nonzero) % self.n
+        values = np.bitwise_xor.reduce(self._exp_table[exponents], axis=1)
+        error_positions = np.flatnonzero(values == 0)
+        if error_positions.size != n_errors:
             raise BCHDecodingError("Chien search found inconsistent error count")
         coefficients = self._codeword_poly(received)
         for position in error_positions:

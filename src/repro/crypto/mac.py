@@ -75,6 +75,54 @@ def verify_mac(data: bytes, key: bytes, tag: bytes) -> bool:
     return result == 0
 
 
+def mac_batch(messages, keys) -> list:
+    """MAC a whole round of ``(data, key)`` pairs in one call.
+
+    The fleet verifier's framing stage computes/checks one MAC per
+    device per round; this batch entry point walks the round in one
+    tight loop over the cached per-key digest states (see
+    :func:`_digest_states`), so the pipelined scheduler has a single
+    call to overlap with the next shard's plane pass.  Element ``i`` is
+    ``mac(messages[i], keys[i])``.
+    """
+    if len(messages) != len(keys):
+        raise ValueError(
+            f"got {len(messages)} messages for {len(keys)} keys"
+        )
+    tags = []
+    for data, key in zip(messages, keys):
+        inner, outer = _digest_states(bytes(key))
+        inner = inner.copy()
+        inner.update(data)
+        outer = outer.copy()
+        outer.update(inner.digest())
+        tags.append(outer.digest())
+    return tags
+
+
+def verify_mac_batch(messages, keys, tags) -> list:
+    """Constant-time verification of a whole round of MACs.
+
+    Returns one bool per ``(data, key, tag)`` triple; each comparison is
+    the same constant-time scan :func:`verify_mac` performs.
+    """
+    if not len(messages) == len(keys) == len(tags):
+        raise ValueError(
+            f"got {len(messages)} messages, {len(keys)} keys, "
+            f"{len(tags)} tags"
+        )
+    results = []
+    for expected, tag in zip(mac_batch(messages, keys), tags):
+        if len(expected) != len(tag):
+            results.append(False)
+            continue
+        result = 0
+        for x, y in zip(expected, bytes(tag)):
+            result |= x ^ y
+        results.append(result == 0)
+    return results
+
+
 def sha256(data: bytes) -> bytes:
     """Plain SHA-256 (the HASH function of the attestation protocol)."""
     return hashlib.sha256(data).digest()

@@ -24,10 +24,13 @@ from repro.fleet.verifier import (
     AuthResponse,
     BatchAuthReport,
     BatchVerifier,
+    CoalescedAuth,
     FleetDevice,
+    RoundCoalescer,
     SpotCheckReport,
     provision_fleet,
     respond_fleet,
+    respond_fleet_staged,
 )
 
 __all__ = [
@@ -36,6 +39,7 @@ __all__ = [
     "BatchAuthReport",
     "BatchVerifier",
     "CampaignStats",
+    "CoalescedAuth",
     "CorruptionAdversary",
     "DeviceRecord",
     "FaultModel",
@@ -43,10 +47,12 @@ __all__ = [
     "FleetRegistry",
     "FleetSimulator",
     "ReplayAdversary",
+    "RoundCoalescer",
     "RoundOutcome",
     "SpotCheckReport",
     "TamperAdversary",
     "photonic_device_factory",
     "provision_fleet",
     "respond_fleet",
+    "respond_fleet_staged",
 ]

@@ -23,22 +23,25 @@ builds a whole enrolled fleet from one photonic die family.
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.crypto.mac import mac as compute_mac
-from repro.crypto.mac import verify_mac
+from repro.crypto.mac import verify_mac, verify_mac_batch
 from repro.fleet.registry import FleetRegistry
 from repro.protocols.mutual_auth import (
     AuthenticationFailure,
     FailureKind,
     _pad_bits,
     check_clock_count,
+    confirmation_mac_batch,
     derive_challenge,
     derive_challenge_batch,
     mask_integrity,
+    pad_bits_batch,
     unmask_clock_count,
 )
 from repro.puf.photonic_strong import photonic_strong_family
@@ -225,6 +228,85 @@ class AuthResponse:
     tag: bytes
 
 
+def respond_fleet_staged(
+    devices: Sequence[FleetDevice],
+    nonces: Dict[str, bytes],
+    tamper_factors: Optional[Dict[str, float]] = None,
+) -> Iterator[Tuple[List[int], List[AuthResponse]]]:
+    """Device turns as a pipeline of per-shard stages.
+
+    Yields ``(positions, messages)`` chunks: the challenge-derivation
+    stage runs up front per plane group (one batched DRBG expansion),
+    the plane pass runs per shard (on the plane's sharded executor when
+    one is attached — see
+    :meth:`~repro.puf.photonic_strong.PhotonicFleet.shard`), and the
+    MAC-framing stage for shard ``i`` runs *while shard ``i + 1`` is
+    still propagating* — the consumer (the pipelined
+    :meth:`BatchVerifier.authenticate_fleet`) likewise overlaps its
+    verification stage with later shards' plane passes.
+
+    Unattached devices (heterogeneous hardware, mid-campaign churn
+    before re-stacking) fall back to their own batch-1
+    :meth:`FleetDevice.respond` and are yielded as the first chunk.
+    Concatenating all chunks by position reproduces the flat
+    :func:`respond_fleet` output exactly.
+    """
+    tamper_factors = tamper_factors or {}
+    fallback: List[int] = []
+    groups: Dict[int, List[int]] = {}
+    planes: Dict[int, object] = {}
+    for position, device in enumerate(devices):
+        if (device.plane is None or device.plane_row is None
+                or device.current_response is None):
+            fallback.append(position)
+        else:
+            groups.setdefault(id(device.plane), []).append(position)
+            planes[id(device.plane)] = device.plane
+    # Dispatch every plane group's pass first (an attached executor's
+    # workers start immediately), so the fallback devices' batch-1 turns
+    # and all per-shard framing below overlap the in-flight passes.
+    dispatched: List[tuple] = []
+    for key, positions in groups.items():
+        plane = planes[key]
+        members = [devices[p] for p in positions]
+        stored = np.vstack([device.current_response for device in members])
+        challenges = derive_challenge_batch(
+            stored, members[0].puf.challenge_bits
+        )
+        rows = [device.plane_row for device in members]
+        if hasattr(plane, "evaluate_staged"):
+            staged = plane.evaluate_staged(challenges[:, np.newaxis, :],
+                                           dies=rows)
+        else:  # duck-typed plane without a staged path: one chunk
+            staged = iter([(
+                np.arange(len(rows)),
+                plane.evaluate(challenges[:, np.newaxis, :], dies=rows),
+            )])
+        dispatched.append((positions, challenges, staged))
+    if fallback:
+        yield fallback, [
+            devices[position].respond(
+                nonces[devices[position].device_id],
+                tamper_factors.get(devices[position].device_id, 1.0),
+            )
+            for position in fallback
+        ]
+    for positions, challenges, staged in dispatched:
+        for chunk, fresh in staged:
+            chunk_positions: List[int] = []
+            messages: List[AuthResponse] = []
+            for index, local in enumerate(np.asarray(chunk, dtype=np.intp)):
+                position = positions[local]
+                device = devices[position]
+                chunk_positions.append(position)
+                messages.append(device.assemble_response(
+                    challenges[local], fresh[index, 0, :],
+                    nonces[device.device_id],
+                    tamper_factors.get(device.device_id, 1.0),
+                ))
+            yield chunk_positions, messages
+
+
 def respond_fleet(
     devices: Sequence[FleetDevice],
     nonces: Dict[str, bytes],
@@ -234,42 +316,17 @@ def respond_fleet(
 
     Devices attached to a stacked execution plane are grouped: their next
     challenges are gathered first (:func:`derive_challenge_batch`), all
-    fresh responses come back from a single
-    :meth:`~repro.puf.photonic_strong.PhotonicFleet.evaluate` pass over
-    the stacked rows, and only the per-device message framing remains
-    sequential.  Unattached devices (heterogeneous hardware, mid-campaign
-    churn before re-stacking) fall back to their own batch-1
-    :meth:`FleetDevice.respond`.  Message order matches ``devices``.
+    fresh responses come back from the plane's tensor pass — sharded
+    across worker cores when an executor is attached — and only the
+    per-device message framing remains sequential.  Message order
+    matches ``devices``.  (This is the flat view of
+    :func:`respond_fleet_staged`.)
     """
-    tamper_factors = tamper_factors or {}
     messages: List[Optional[AuthResponse]] = [None] * len(devices)
-    groups: Dict[int, List[int]] = {}
-    planes: Dict[int, object] = {}
-    for position, device in enumerate(devices):
-        if (device.plane is None or device.plane_row is None
-                or device.current_response is None):
-            messages[position] = device.respond(
-                nonces[device.device_id],
-                tamper_factors.get(device.device_id, 1.0),
-            )
-        else:
-            groups.setdefault(id(device.plane), []).append(position)
-            planes[id(device.plane)] = device.plane
-    for key, positions in groups.items():
-        plane = planes[key]
-        members = [devices[p] for p in positions]
-        stored = np.vstack([device.current_response for device in members])
-        challenges = derive_challenge_batch(
-            stored, members[0].puf.challenge_bits
-        )
-        rows = [device.plane_row for device in members]
-        fresh = plane.evaluate(challenges[:, np.newaxis, :], dies=rows)[:, 0, :]
-        for index, position in enumerate(positions):
-            device = devices[position]
-            messages[position] = device.assemble_response(
-                challenges[index], fresh[index], nonces[device.device_id],
-                tamper_factors.get(device.device_id, 1.0),
-            )
+    for positions, chunk in respond_fleet_staged(devices, nonces,
+                                                 tamper_factors):
+        for position, message in zip(positions, chunk):
+            messages[position] = message
     return messages
 
 
@@ -356,19 +413,39 @@ class BatchVerifier:
                      nonces: Dict[str, bytes]) -> BatchAuthReport:
         """Verify a whole round of device turns in one call.
 
-        MAC, framing and integrity checks run per message (they are
-        byte-level); response unmasking operates on the stacked response
-        matrices.  The registry is NOT rolled here: the new response is
-        parked as pending state and committed by :meth:`finalize` once the
-        device accepted the confirmation — the same two-phase commit as
+        MAC verification and confirmation framing run as *batched
+        stages* (:func:`repro.crypto.mac.verify_mac_batch` /
+        :func:`repro.protocols.mutual_auth.confirmation_mac_batch`);
+        response unmasking operates on the stacked response matrices.
+        The registry is NOT rolled here: the new response is parked as
+        pending state and committed by :meth:`finalize` once the device
+        accepted the confirmation — the same two-phase commit as
         ``AuthVerifier.process_response`` / ``finalize``, so a lost
         confirmation never desynchronizes the two sides.
+
+        The pipelined :meth:`authenticate_fleet` calls the underlying
+        :meth:`_verify_round_into` once per shard chunk instead, sharing
+        one report and duplicate-device set across the round; the two
+        produce identical reports for identical messages.
         """
         report = BatchAuthReport()
-        valid: List[AuthResponse] = []
-        masked_rows: List[np.ndarray] = []
-        stored_rows: List[np.ndarray] = []
-        seen_this_round: set = set()
+        self._verify_round_into(report, responses, nonces, set())
+        return report
+
+    def _verify_round_into(self, report: BatchAuthReport,
+                           responses: Sequence[AuthResponse],
+                           nonces: Dict[str, bytes],
+                           seen_this_round: set) -> None:
+        """One verification stage: framing checks, MACs, confirmations.
+
+        Stage 1 runs the cheap byte-level framing checks and collects
+        every candidate's MAC into one batched verification; stage 2
+        unmasks all surviving responses as one stacked XOR, derives
+        their next challenges in one batched DRBG expansion, and frames
+        all confirmations in one batched MAC pass.  Failure kinds and
+        their precedence are identical to the sequential path.
+        """
+        candidates: List[tuple] = []  # (response, record, bound checks ok)
         for response in responses:
             try:
                 if response.device_id in seen_this_round:
@@ -389,9 +466,24 @@ class BatchVerifier:
                         response.device_id, ()):
                     raise AuthenticationFailure("replayed message",
                                                 FailureKind.REPLAY)
-                if not verify_mac(response.body,
-                                  _pad_bits(record.current_response),
-                                  response.tag):
+            except AuthenticationFailure as failure:
+                report.record_failure(response.device_id, failure)
+                continue
+            candidates.append((response, record, nonce))
+        # Batched MAC stage: every candidate's tag in one call, keys
+        # packed as one round-wide packbits pass.
+        mac_ok = verify_mac_batch(
+            [candidate[0].body for candidate in candidates],
+            pad_bits_batch([candidate[1].current_response
+                            for candidate in candidates]),
+            [candidate[0].tag for candidate in candidates],
+        )
+        valid: List[AuthResponse] = []
+        masked_rows: List[np.ndarray] = []
+        stored_rows: List[np.ndarray] = []
+        for (response, record, nonce), tag_ok in zip(candidates, mac_ok):
+            try:
+                if not tag_ok:
                     raise AuthenticationFailure("device MAC rejected",
                                                 FailureKind.BAD_MAC)
                 # A MAC-valid body can still be malformed (buggy device
@@ -442,7 +534,7 @@ class BatchVerifier:
             masked_rows.append(bits[: record.current_response.size])
             stored_rows.append(record.current_response)
         if not valid:
-            return report
+            return
         # Vectorized unmasking over the whole round: r_{i+1} = m XOR r_i.
         stored = np.vstack(stored_rows).astype(np.uint8)
         new_responses = np.bitwise_xor(
@@ -458,15 +550,14 @@ class BatchVerifier:
         else:
             challenges = [derive_challenge(stored[row], challenge_bits[row])
                           for row in range(len(valid))]
+        confirmations = confirmation_mac_batch(
+            challenges,
+            [nonces[response.device_id] for response in valid],
+            new_responses,
+        )
         for row, response in enumerate(valid):
-            confirmation = compute_mac(
-                encode_fields([_pad_bits(challenges[row]),
-                               nonces[response.device_id]]),
-                _pad_bits(new_responses[row]),
-            )
             self._pending[response.device_id] = new_responses[row]
-            report.confirmations[response.device_id] = confirmation
-        return report
+            report.confirmations[response.device_id] = confirmations[row]
 
     def finalize(self, device_id: str) -> None:
         """Commit one device's pending session: roll the CRP atomically."""
@@ -522,13 +613,21 @@ class BatchVerifier:
     def authenticate_fleet(self, devices: Sequence[FleetDevice]) -> BatchAuthReport:
         """Run one full mutual-auth session for every device, in one call.
 
-        Device turns run through :func:`respond_fleet`: plane-attached
-        devices measure their fresh CRPs in a single stacked tensor pass,
-        everything else falls back to per-device interrogation.
+        The round is a pipeline over shards: device turns stream out of
+        :func:`respond_fleet_staged` one shard chunk at a time (challenge
+        derivation up front, plane passes on the sharded executor's
+        workers when one is attached), and each chunk's MAC framing and
+        verification run *while the next shard's tensor pass is still in
+        flight*.  Without an executor there is a single chunk and the
+        flow reduces to the PR 3 batch path; either way the resulting
+        report, device state, and message bytes are identical.
         """
         nonces = self.open_round([device.device_id for device in devices])
-        responses = respond_fleet(devices, nonces)
-        report = self.verify_round(responses, nonces)
+        report = BatchAuthReport()
+        seen_this_round: set = set()
+        for __, messages in respond_fleet_staged(devices, nonces):
+            self._verify_round_into(report, messages, nonces,
+                                    seen_this_round)
         for device in devices:
             confirmation = report.confirmations.get(device.device_id)
             if confirmation is None:
@@ -602,11 +701,137 @@ class BatchVerifier:
         )
 
 
+@dataclass
+class CoalescedAuth:
+    """The pending/settled outcome of one coalesced auth request."""
+
+    device_id: str
+    done: bool = False
+    accepted: bool = False
+    failure: Optional[str] = None
+    failure_kind: Optional[str] = None
+
+    def settle(self, report: BatchAuthReport) -> None:
+        self.done = True
+        self.accepted = self.device_id in report.confirmations
+        if not self.accepted:
+            self.failure = report.failures.get(
+                self.device_id, "not part of the round"
+            )
+            self.failure_kind = report.failure_kinds.get(self.device_id)
+
+
+class RoundCoalescer:
+    """Batches individually-arriving auth requests into micro-rounds.
+
+    Production traffic is not a neat fleet-wide round: devices check in
+    one at a time.  Authenticating each arrival alone would waste the
+    stacked plane (a batch-1 tensor pass per device); the coalescer
+    holds arrivals in a pending micro-round and flushes them through
+    one pipelined :meth:`BatchVerifier.authenticate_fleet` call when
+
+    * the oldest pending request has waited ``latency_budget_s`` (the
+      per-request latency cap trades batch efficiency against response
+      time), or
+    * ``max_batch`` requests are pending (a full micro-round), or
+    * a device already pending arrives again (one device cannot appear
+      twice in one round — the duplicate flushes the round first).
+
+    ``clock`` is injectable (tests drive a fake clock); callers in an
+    event loop call :meth:`poll` on their tick to enforce the budget.
+    """
+
+    def __init__(self, verifier: BatchVerifier,
+                 latency_budget_s: float = 0.005, max_batch: int = 256,
+                 clock=time.monotonic):
+        if latency_budget_s < 0.0:
+            raise ValueError("latency_budget_s must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.verifier = verifier
+        self.latency_budget_s = float(latency_budget_s)
+        self.max_batch = int(max_batch)
+        self._clock = clock
+        self._pending: List[tuple] = []          # (device, ticket)
+        self._pending_ids: set = set()
+        self._deadline: Optional[float] = None
+        self.micro_rounds = 0
+        self.submitted = 0
+        self.flushed_by_size = 0
+        self.flushed_by_deadline = 0
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def submit(self, device: FleetDevice) -> CoalescedAuth:
+        """Queue one device's auth request; may trigger a flush.
+
+        Unknown devices are rejected here, at the door — one stray
+        request must not poison the micro-round it would have joined.
+        """
+        self.verifier.registry.record(device.device_id)
+        if device.device_id in self._pending_ids:
+            self.flush()
+        ticket = CoalescedAuth(device.device_id)
+        self._pending.append((device, ticket))
+        self._pending_ids.add(device.device_id)
+        self.submitted += 1
+        if self._deadline is None:
+            self._deadline = self._clock() + self.latency_budget_s
+        if len(self._pending) >= self.max_batch:
+            self.flushed_by_size += 1
+            self.flush()
+        return ticket
+
+    def poll(self) -> Optional[BatchAuthReport]:
+        """Flush if the oldest pending request exhausted its budget."""
+        if self._pending and self._clock() >= self._deadline:
+            self.flushed_by_deadline += 1
+            return self.flush()
+        return None
+
+    def flush(self) -> Optional[BatchAuthReport]:
+        """Run the pending micro-round now; settle every ticket.
+
+        Every ticket settles even when the round itself fails: a
+        protocol-level :class:`AuthenticationFailure` (e.g. a device
+        revoked between submit and flush) settles the whole micro-round
+        as failed and returns ``None`` — callers polling their tickets
+        see the outcome instead of hanging; unexpected errors settle
+        the tickets the same way, then propagate.
+        """
+        if not self._pending:
+            return None
+        pending, self._pending = self._pending, []
+        self._pending_ids = set()
+        self._deadline = None
+        self.micro_rounds += 1
+        try:
+            report = self.verifier.authenticate_fleet(
+                [device for device, __ in pending]
+            )
+        except Exception as exc:
+            kind = getattr(exc, "kind", None)
+            for __, ticket in pending:
+                ticket.done = True
+                ticket.accepted = False
+                ticket.failure = f"micro-round failed: {exc}"
+                ticket.failure_kind = kind.value if kind is not None else None
+            if isinstance(exc, AuthenticationFailure):
+                return None
+            raise
+        for __, ticket in pending:
+            ticket.settle(report)
+        return report
+
+
 def provision_fleet(
     n_devices: int,
     seed: int = 0,
     n_spot_crps: int = 0,
     stacked: bool = True,
+    shard_workers: Optional[int] = None,
     **puf_kwargs,
 ):
     """Build, provision and enroll a whole fleet from one die family.
@@ -623,10 +848,19 @@ def provision_fleet(
     pass per round.  ``stacked=False`` forces the per-die path (one
     compile and one batch-1 interrogation per device) — the provisioning
     baseline the fleet-throughput benchmark pins against.
+
+    ``shard_workers`` additionally attaches a sharded multi-core
+    executor to the stacked plane (see
+    :meth:`~repro.puf.photonic_strong.PhotonicFleet.shard`): the
+    provisioning harvests and every subsequent round then run one shard
+    per worker core, bit-identical to the single-process plane.  Shut it
+    down with ``devices[0].plane.close_executor()`` when done.
     """
     family = photonic_strong_family(n_devices, seed=seed, **puf_kwargs)
     registry = FleetRegistry()
     plane = family.stack() if stacked else None
+    if plane is not None and shard_workers is not None:
+        plane.shard(n_workers=shard_workers)
     if plane is None:
         devices: List[FleetDevice] = []
         for die in range(n_devices):

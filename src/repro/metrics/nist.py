@@ -86,6 +86,22 @@ _LONGEST_RUN_TABLE = {
 }
 
 
+def _longest_runs(blocks: np.ndarray) -> np.ndarray:
+    """Per-row longest run of ones of a ``(n_blocks, M)`` 0/1 matrix.
+
+    Runs entirely on numpy cumulative ops: a cumulative sum that resets
+    at every zero gives each position's current run length, and the row
+    maximum is the longest run — integer-exact, no per-bit Python loop.
+    """
+    cumulative = np.cumsum(blocks, axis=1)
+    # At each zero, remember the cumulative count so far; the running
+    # maximum of those anchors is what the cumsum restarts from.
+    anchors = np.maximum.accumulate(
+        np.where(blocks == 0, cumulative, 0), axis=1
+    )
+    return (cumulative - anchors).max(axis=1)
+
+
 def longest_run_test(bits: Sequence[int]) -> TestResult:
     """Longest run of ones within fixed-size blocks."""
     arr = _bits(bits, 128)
@@ -93,21 +109,11 @@ def longest_run_test(bits: Sequence[int]) -> TestResult:
     bounds, probabilities = _LONGEST_RUN_TABLE[block_size]
     n_blocks = arr.size // block_size
     blocks = arr[: n_blocks * block_size].reshape(n_blocks, block_size)
-    counts = np.zeros(len(probabilities))
-    for block in blocks:
-        longest = 0
-        current = 0
-        for bit in block:
-            current = current + 1 if bit else 0
-            longest = max(longest, current)
-        category = 0
-        for idx, bound in enumerate(bounds):
-            if longest <= bound:
-                category = idx
-                break
-        else:
-            category = len(bounds)
-        counts[category] += 1
+    longest = _longest_runs(blocks)
+    # Category of each block: index of the first bound >= longest run,
+    # overflowing into the top category — identical to the scalar scan.
+    categories = np.searchsorted(np.asarray(bounds), longest, side="left")
+    counts = np.bincount(categories, minlength=len(probabilities)).astype(float)
     expected = n_blocks * np.asarray(probabilities)
     chi2 = float(np.sum((counts - expected) ** 2 / expected))
     dof = len(probabilities) - 1

@@ -29,6 +29,12 @@ from repro.photonics.engine import (
     stacked_ring_scan,
 )
 from repro.photonics.fleet_engine import CompiledFleet
+from repro.photonics.shard import (
+    ShardedFleetExecutor,
+    ShardLayout,
+    shard_fleet,
+    usable_cores,
+)
 from repro.photonics.mesh import (
     DiscreteTimeRing,
     MixingLayer,
@@ -64,6 +70,10 @@ __all__ = [
     "SILICON_DN_DT",
     "CompiledFleet",
     "CompiledMesh",
+    "ShardLayout",
+    "ShardedFleetExecutor",
+    "shard_fleet",
+    "usable_cores",
     "environment_cache_key",
     "stacked_ring_scan",
     "DiscreteTimeRing",

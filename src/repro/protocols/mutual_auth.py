@@ -24,7 +24,9 @@ against CRP-database schemes (Suh et al. [16]) that the paper makes;
 
 from __future__ import annotations
 
+import hashlib
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
 from typing import List, Optional, Tuple
@@ -33,7 +35,7 @@ import numpy as np
 
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.mac import mac as compute_mac
-from repro.crypto.mac import verify_mac
+from repro.crypto.mac import mac_batch, verify_mac
 from repro.system.channel import Channel
 from repro.system.soc import DeviceSoC
 from repro.utils.bits import BitArray, bits_from_bytes, bytes_from_bits, xor_bits
@@ -89,10 +91,53 @@ def _pad_bits(bits: BitArray) -> bytes:
     return bytes_from_bits(padded)
 
 
+def pad_bits_batch(rows) -> List[bytes]:
+    """:func:`_pad_bits` for a whole round of bit rows in one pass.
+
+    Equal-length rows (the common fleet case) pack as one
+    ``np.packbits`` call over the stacked matrix — ``packbits`` pads
+    each row's tail with zero bits exactly like ``_pad_bits``; ragged
+    rows (mixed device generations) fall back per row.
+    """
+    rows = [np.asarray(row, dtype=np.uint8) for row in rows]
+    if not rows:
+        return []
+    if len({row.size for row in rows}) == 1:
+        packed = np.packbits(np.vstack(rows), axis=1)
+        return [row.tobytes() for row in packed]
+    return [_pad_bits(row) for row in rows]
+
+
+# SHA-256(packed response) + n_bytes -> DRBG expansion.  The verifier
+# re-derives c_{i+1} from the same stored response the device derived it
+# from, so every accepted session computes the identical expansion twice
+# per round; memoizing the (deterministic) map halves that cost.  The
+# cache key is a *hash* of the rolling secret, never the secret itself —
+# a heap dump of a long-lived verifier must not surface thousands of
+# current and rolled r_i values.  LRU-bounded so a verifier rolling
+# through millions of sessions stays flat — rolled responses never
+# recur, dead entries age out.
+_CHALLENGE_CACHE_MAX = 8192
+_challenge_cache: "OrderedDict[tuple, bytes]" = OrderedDict()
+
+
+def _derive_challenge_bytes(packed: bytes, n_bytes: int) -> bytes:
+    key = (hashlib.sha256(b"chal:" + packed).digest(), n_bytes)
+    cached = _challenge_cache.get(key)
+    if cached is not None:
+        _challenge_cache.move_to_end(key)
+        return cached
+    raw = HmacDrbg(packed,
+                   personalization=b"hsc-iot-challenge").generate(n_bytes)
+    _challenge_cache[key] = raw
+    if len(_challenge_cache) > _CHALLENGE_CACHE_MAX:
+        _challenge_cache.popitem(last=False)
+    return raw
+
+
 def derive_challenge(response: BitArray, n_bits: int) -> BitArray:
     """c_{i+1} = RNG(r_i): expand the current response through the DRBG."""
-    drbg = HmacDrbg(_pad_bits(response), personalization=b"hsc-iot-challenge")
-    raw = drbg.generate(math.ceil(n_bits / 8))
+    raw = _derive_challenge_bytes(_pad_bits(response), math.ceil(n_bits / 8))
     return bits_from_bytes(raw)[:n_bits]
 
 
@@ -119,8 +164,7 @@ def derive_challenge_batch(responses, n_bits: int) -> np.ndarray:
         padded = matrix
     packed = np.packbits(padded, axis=1)
     raw = b"".join(
-        HmacDrbg(row.tobytes(), personalization=b"hsc-iot-challenge")
-        .generate(n_bytes)
+        _derive_challenge_bytes(row.tobytes(), n_bytes)
         for row in packed
     )
     bits = np.unpackbits(
@@ -128,6 +172,28 @@ def derive_challenge_batch(responses, n_bits: int) -> np.ndarray:
         axis=1,
     )
     return bits[:, :n_bits]
+
+
+def confirmation_mac_batch(challenges, nonces, new_responses) -> List[bytes]:
+    """``mac' = MAC(c_{i+1} || N, r_{i+1})`` for a whole round at once.
+
+    The framing counterpart of :func:`derive_challenge_batch`: the fleet
+    verifier's confirmation stage proves knowledge of every accepted
+    device's *new* secret in one batched MAC pass
+    (:func:`repro.crypto.mac.mac_batch`).  Row ``i`` is byte-identical
+    to ``compute_mac(encode_fields([_pad_bits(challenges[i]),
+    nonces[i]]), _pad_bits(new_responses[i]))``.
+    """
+    if not len(challenges) == len(nonces) == len(new_responses):
+        raise ValueError(
+            f"got {len(challenges)} challenges, {len(nonces)} nonces, "
+            f"{len(new_responses)} responses"
+        )
+    bodies = [
+        encode_fields([packed, nonce])
+        for packed, nonce in zip(pad_bits_batch(challenges), nonces)
+    ]
+    return mac_batch(bodies, pad_bits_batch(new_responses))
 
 
 def mask_integrity(firmware_hash: bytes, clock_count: int) -> bytes:

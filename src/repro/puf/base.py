@@ -121,6 +121,38 @@ class PUF(abc.ABC):
             )
         return response
 
+    def evaluate_batch(
+        self,
+        challenges: np.ndarray,
+        env: PUFEnvironment = NOMINAL_ENV,
+        measurement: Optional[int] = None,
+    ) -> np.ndarray:
+        """(batch, response_bits) responses for a matrix of challenges.
+
+        Baseline implementation: one :meth:`_evaluate` per row under a
+        single noise realisation (``measurement`` pins it; ``None``
+        draws one fresh realisation for the whole batch, advancing the
+        counter once — batch harvesting is one logical measurement).
+        Engine-backed PUFs (the photonic strong PUF) override this with
+        a vectorized pass; callers can rely on the method existing on
+        *every* PUF, so dataset harvesting never falls back to
+        per-challenge ``evaluate`` loops.
+        """
+        challenges = np.atleast_2d(np.asarray(challenges, dtype=np.uint8))
+        if challenges.shape[1] != self.challenge_bits:
+            raise ValueError(
+                f"challenges must have {self.challenge_bits} bits, "
+                f"got {challenges.shape[1]}"
+            )
+        if measurement is None:
+            measurement = self._measurement_counter
+            self._measurement_counter += 1
+        return np.vstack([
+            np.asarray(self._evaluate(challenge, env, measurement),
+                       dtype=np.uint8)
+            for challenge in challenges
+        ])
+
     def crp(
         self,
         challenge: Sequence[int],

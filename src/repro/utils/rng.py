@@ -209,6 +209,35 @@ def derive_standard_normals(root_seed: int, prefix: tuple,
     return out
 
 
+def derived_generators(seeds):
+    """Yield one ``Generator`` per seed, bit-exact with ``default_rng``.
+
+    The per-die round path draws one noise matrix per device per round —
+    thousands of short-lived generators whose ``SeedSequence``
+    construction dominates the draw itself.  This amortises it the same
+    way :func:`derive_standard_normals` does: the PCG64 states of all
+    seeds are computed vectorized up front and injected one at a time
+    into a single reused bit generator, so stream ``i`` is bit-for-bit
+    ``np.random.default_rng(seeds[i])``.  The yielded generator object
+    is *reused* — callers must finish drawing from it before advancing.
+    Falls back to per-seed ``default_rng`` if the self-check ever fails.
+    """
+    global _batched_normals_ok
+    seeds = [int(seed) for seed in seeds]
+    if _batched_normals_ok is None:
+        _batched_normals_ok = _batched_normals_self_check()
+    if not _batched_normals_ok:  # pragma: no cover - numpy changed
+        for seed in seeds:
+            yield np.random.default_rng(seed)
+        return
+    if not seeds:
+        return
+    generator = np.random.Generator(np.random.PCG64(0))
+    for state in _pcg64_states(seeds):
+        generator.bit_generator.state = state
+        yield generator
+
+
 def derive_bytes(n_bytes: int, root_seed: int, *context: object) -> bytes:
     """Derive up to 32 context-bound bytes from the same hash tree.
 

@@ -159,3 +159,52 @@ class TestBCHCoding:
         for position in {p1, p2, p3}:
             codeword[position] ^= 1
         assert np.array_equal(code.decode(codeword), message)
+
+
+class TestVectorizedAgainstReference:
+    """GF(2) matmul encode / table-gather syndromes vs the pure-Python
+    polynomial paths: codeword-exact, syndrome-exact."""
+
+    @pytest.mark.parametrize("m,t", [(5, 3), (7, 10), (8, 5)])
+    def test_encode_codeword_exact(self, m, t):
+        code = BCHCode(m, t)
+        rng = np.random.default_rng(m * 100 + t)
+        for __ in range(20):
+            message = rng.integers(0, 2, code.k, dtype=np.uint8)
+            assert np.array_equal(code.encode(message),
+                                  code.encode_reference(message))
+
+    @pytest.mark.parametrize("m,t", [(5, 3), (7, 10)])
+    def test_syndromes_exact(self, m, t):
+        code = BCHCode(m, t)
+        rng = np.random.default_rng(m * 10 + t)
+        for __ in range(20):
+            word = rng.integers(0, 2, code.n, dtype=np.uint8)
+            assert code.syndromes(word) == code.syndromes_reference(word)
+
+    def test_zero_message_and_codeword(self):
+        code = BCHCode(7, 10)
+        zero_message = np.zeros(code.k, dtype=np.uint8)
+        assert np.array_equal(code.encode(zero_message),
+                              code.encode_reference(zero_message))
+        assert code.syndromes(np.zeros(code.n, dtype=np.uint8)) \
+            == [0] * (2 * code.t)
+
+    def test_parity_matrix_shape_and_linearity(self):
+        code = BCHCode(7, 10)
+        assert code._parity_matrix.shape == (code.k, code.n_parity)
+        rng = np.random.default_rng(9)
+        a = rng.integers(0, 2, code.k, dtype=np.uint8)
+        b = rng.integers(0, 2, code.k, dtype=np.uint8)
+        # Linearity over GF(2): encode(a ^ b) == encode(a) ^ encode(b).
+        assert np.array_equal(code.encode(a ^ b),
+                              code.encode(a) ^ code.encode(b))
+
+    def test_decode_uses_vectorized_chien(self):
+        code = BCHCode(7, 10)
+        rng = np.random.default_rng(4)
+        message = rng.integers(0, 2, code.k, dtype=np.uint8)
+        codeword = code.encode(message)
+        positions = rng.choice(code.n, size=code.t, replace=False)
+        codeword[positions] ^= 1
+        assert np.array_equal(code.decode(codeword), message)

@@ -124,3 +124,41 @@ class TestDrbg:
         stream = np.frombuffer(HmacDrbg(b"stat").generate(16384), dtype=np.uint8)
         bits = np.unpackbits(stream)
         assert abs(bits.mean() - 0.5) < 0.02
+
+
+class TestMacBatch:
+    """Batched round MACs: byte-identical to per-call mac()/verify_mac()."""
+
+    def test_mac_batch_matches_scalar(self):
+        from repro.crypto.mac import mac, mac_batch
+        messages = [f"msg-{i}".encode() for i in range(16)]
+        keys = [f"key-{i % 4}".encode() for i in range(16)]
+        assert mac_batch(messages, keys) == [
+            mac(m, k) for m, k in zip(messages, keys)
+        ]
+
+    def test_verify_mac_batch_mixed(self):
+        from repro.crypto.mac import mac, verify_mac_batch
+        messages = [b"a", b"b", b"c"]
+        keys = [b"k1", b"k2", b"k3"]
+        tags = [mac(b"a", b"k1"), mac(b"WRONG", b"k2"), mac(b"c", b"k3")]
+        assert verify_mac_batch(messages, keys, tags) == [True, False, True]
+
+    def test_verify_mac_batch_truncated_tag(self):
+        from repro.crypto.mac import mac, verify_mac_batch
+        tag = mac(b"a", b"k")[:-1]
+        assert verify_mac_batch([b"a"], [b"k"], [tag]) == [False]
+
+    def test_empty_batch(self):
+        from repro.crypto.mac import mac_batch, verify_mac_batch
+        assert mac_batch([], []) == []
+        assert verify_mac_batch([], [], []) == []
+
+    def test_length_mismatch_rejected(self):
+        import pytest
+
+        from repro.crypto.mac import mac_batch, verify_mac_batch
+        with pytest.raises(ValueError):
+            mac_batch([b"a"], [])
+        with pytest.raises(ValueError):
+            verify_mac_batch([b"a"], [b"k"], [])

@@ -184,3 +184,41 @@ class TestSuite:
         for seed in range(1, 5):
             results = run_suite(random_bits(4096, seed))
             assert pass_fraction(results) >= 7 / 8
+
+
+class TestLongestRunVectorization:
+    """The cumulative-ops longest-run kernel vs the per-bit loop."""
+
+    @staticmethod
+    def _longest_run_loop(block):
+        longest = current = 0
+        for bit in block:
+            current = current + 1 if bit else 0
+            longest = max(longest, current)
+        return longest
+
+    def test_matches_loop_reference(self):
+        from repro.metrics.nist import _longest_runs
+        rng = np.random.default_rng(17)
+        for n_blocks, width in [(16, 8), (40, 128), (3, 1)]:
+            blocks = rng.integers(0, 2, size=(n_blocks, width),
+                                  dtype=np.uint8)
+            expected = [self._longest_run_loop(block) for block in blocks]
+            assert np.array_equal(_longest_runs(blocks), expected)
+
+    def test_edge_blocks(self):
+        from repro.metrics.nist import _longest_runs
+        blocks = np.array([
+            [0, 0, 0, 0], [1, 1, 1, 1], [1, 0, 1, 0], [0, 1, 1, 0],
+        ], dtype=np.uint8)
+        assert _longest_runs(blocks).tolist() == [0, 4, 1, 2]
+
+    def test_p_value_matches_published_vector(self):
+        # SP 800-22 worked example for the 128-bit longest-run stream.
+        bits = np.array([int(b) for b in (
+            "11001100000101010110110001001100111000000000001001"
+            "00110101010001000100111101011010000000110101111100"
+            "1100111001101101100010110010"
+        )], dtype=np.uint8)
+        result = longest_run_test(bits)
+        assert result.p_value == pytest.approx(0.180609, abs=1e-4)

@@ -266,3 +266,40 @@ class TestIntegrityMaskHelpers:
     def test_length_mismatch_detected(self):
         with pytest.raises(AuthenticationFailure):
             unmask_clock_count(b"\x00" * 16, bytes(range(32)))
+
+
+class TestConfirmationMacBatch:
+    """Batched confirmation framing vs the scalar MAC construction."""
+
+    def test_rows_match_scalar_macs(self):
+        import numpy as np
+
+        from repro.crypto.mac import mac as compute_mac
+        from repro.protocols.mutual_auth import (
+            _pad_bits,
+            confirmation_mac_batch,
+        )
+        from repro.utils.serialization import encode_fields
+
+        rng = np.random.default_rng(5)
+        challenges = rng.integers(0, 2, size=(6, 32), dtype=np.uint8)
+        responses = rng.integers(0, 2, size=(6, 16), dtype=np.uint8)
+        nonces = [bytes([i]) * 16 for i in range(6)]
+        batch = confirmation_mac_batch(challenges, nonces, responses)
+        for row in range(6):
+            expected = compute_mac(
+                encode_fields([_pad_bits(challenges[row]), nonces[row]]),
+                _pad_bits(responses[row]),
+            )
+            assert batch[row] == expected
+
+    def test_length_mismatch_rejected(self):
+        import numpy as np
+        import pytest
+
+        from repro.protocols.mutual_auth import confirmation_mac_batch
+
+        with pytest.raises(ValueError):
+            confirmation_mac_batch(np.zeros((2, 8), dtype=np.uint8),
+                                   [b"n" * 16], np.zeros((2, 8),
+                                                         dtype=np.uint8))

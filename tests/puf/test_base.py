@@ -117,3 +117,34 @@ class TestPUFFamily:
         challenges = [np.zeros(8, dtype=np.uint8), np.ones(8, dtype=np.uint8)]
         matrix = family.response_matrix(challenges)
         assert matrix.shape == (3, 4)  # 3 devices x (2 challenges x 2 bits)
+
+
+class TestDefaultEvaluateBatch:
+    """Every PUF has evaluate_batch; the baseline loops _evaluate rows."""
+
+    def test_rows_match_per_challenge_evaluation(self):
+        puf = ToyPUF(die_index=1)
+        rng = np.random.default_rng(0)
+        challenges = rng.integers(0, 2, size=(5, 8), dtype=np.uint8)
+        batch = puf.evaluate_batch(challenges, measurement=0)
+        assert batch.shape == (5, 2)
+        for row, challenge in enumerate(challenges):
+            assert np.array_equal(batch[row],
+                                  puf.evaluate(challenge, measurement=0))
+
+    def test_fresh_measurement_advances_counter_once(self):
+        puf = ToyPUF()
+        challenges = np.zeros((3, 8), dtype=np.uint8)
+        before = puf._measurement_counter
+        puf.evaluate_batch(challenges)
+        assert puf._measurement_counter == before + 1
+
+    def test_challenge_width_checked(self):
+        with pytest.raises(ValueError):
+            ToyPUF().evaluate_batch(np.zeros((2, 7), dtype=np.uint8))
+
+    def test_weak_puf_also_batches(self):
+        puf = ToyWeakPUF()
+        challenges = np.stack([puf.address_challenge(a) for a in range(4)])
+        batch = puf.evaluate_batch(challenges, measurement=0)
+        assert batch.shape == (4, 1)
