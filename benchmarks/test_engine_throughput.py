@@ -14,7 +14,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.fleet import provision_fleet
+from repro.service import AuthService, FleetConfig
 from repro.puf import PhotonicStrongPUF
 
 BATCH = 256
@@ -106,10 +106,11 @@ def test_engine_throughput_scales_with_batch(table_printer, puf):
 
 def test_fleet_auth_throughput(table_printer):
     fleet_size = 6
-    _, devices, verifier = provision_fleet(
-        fleet_size, seed=1001, n_spot_crps=64,
-        challenge_bits=32, n_stages=4, response_bits=16,
-    )
+    service = AuthService.provision(FleetConfig(
+        n_devices=fleet_size, seed=1001, n_spot_crps=64,
+        puf=dict(challenge_bits=32, n_stages=4, response_bits=16),
+    ))
+    devices, verifier = service.device_list, service.verifier
     start = time.perf_counter()
     rounds = 4
     for _ in range(rounds):

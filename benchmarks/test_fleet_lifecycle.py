@@ -13,12 +13,11 @@ import json
 from repro.fleet import (
     CorruptionAdversary,
     FaultModel,
-    FleetSimulator,
     ReplayAdversary,
     TamperAdversary,
     photonic_device_factory,
-    provision_fleet,
 )
+from repro.service import AuthService, FleetConfig
 
 CAMPAIGN_JSON = "BENCH_campaign.json"
 FAST_PUF = dict(challenge_bits=32, n_stages=4, response_bits=16)
@@ -26,15 +25,15 @@ FAST_PUF = dict(challenge_bits=32, n_stages=4, response_bits=16)
 
 def test_campaign_fault_tolerance_smoke(table_printer):
     fleet_size, rounds = 16, 20
-    registry, devices, verifier = provision_fleet(fleet_size, seed=2024,
-                                                  **FAST_PUF)
-    simulator = FleetSimulator(
-        registry, devices, verifier, seed=2024,
-        faults=FaultModel(
+    service = AuthService.provision(FleetConfig(
+        n_devices=fleet_size, seed=2024, puf=FAST_PUF,
+        fault_model=FaultModel(
             request_drop=0.02, response_drop=0.05, confirmation_drop=0.2,
             max_retries=4, enroll_prob=0.2, revoke_prob=0.1,
             min_fleet_size=fleet_size // 2,
         ),
+    ))
+    simulator = service.simulator(
         adversaries=[ReplayAdversary(probability=0.3),
                      TamperAdversary(probability=0.05, factor=1.4),
                      CorruptionAdversary(probability=0.1)],

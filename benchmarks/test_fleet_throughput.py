@@ -25,7 +25,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.fleet import provision_fleet
+from bench_facade_bridge import provision_fleet
 
 FLEET = int(os.environ.get("FLEET_BENCH_SIZE", "256"))
 BASELINE_SLICE = max(8, FLEET // 4)

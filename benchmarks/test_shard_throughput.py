@@ -28,8 +28,10 @@ import time
 import numpy as np
 import pytest
 
-from repro.fleet import provision_fleet, respond_fleet
+from repro.fleet import respond_round as respond_fleet
 from repro.photonics.shard import usable_cores
+
+from bench_facade_bridge import provision_fleet
 
 FLEET = int(os.environ.get("SHARD_BENCH_SIZE", "1024"))
 WORKERS = int(os.environ.get(

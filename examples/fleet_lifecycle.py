@@ -3,11 +3,13 @@
 The rolling-CRP scheme's whole advantage over CRP-database verifiers is
 that one shared secret per device survives hostile conditions: lost
 confirmations, replayed traffic, tampered devices, fleet churn, and
-verifier restarts.  This example drives a multi-round campaign through
-:class:`repro.fleet.FleetSimulator` under all of them at once, crashes
-the verifier mid-campaign (persisting the registry to an ``.npz``
-snapshot and restoring from it), and shows the invariant that makes the
-scheme production-viable: zero desynchronized devices at the end.
+verifier restarts.  This example provisions the fleet through one declarative
+:class:`repro.service.FleetConfig`, then drives a multi-round campaign
+through the :class:`repro.fleet.FleetSimulator` — *just another client
+of the AuthService facade* — under all of them at once, crashes the
+verifier mid-campaign (persisting the registry to an ``.npz`` snapshot
+and restoring from it), and shows the invariant that makes the scheme
+production-viable: zero desynchronized devices at the end.
 
 Run:  python examples/fleet_lifecycle.py
 """
@@ -19,12 +21,11 @@ import tempfile
 from repro.fleet import (
     CorruptionAdversary,
     FaultModel,
-    FleetSimulator,
     ReplayAdversary,
     TamperAdversary,
     photonic_device_factory,
-    provision_fleet,
 )
+from repro.service import AuthService, FleetConfig
 
 
 def main() -> None:
@@ -33,11 +34,9 @@ def main() -> None:
 
     print(f"fleet of {fleet_size} devices, {rounds}-round hostile campaign\n")
 
-    registry, devices, verifier = provision_fleet(fleet_size, seed=7,
-                                                  **puf_kwargs)
-    simulator = FleetSimulator(
-        registry, devices, verifier, seed=7,
-        faults=FaultModel(
+    service = AuthService.provision(FleetConfig(
+        n_devices=fleet_size, seed=7, puf=puf_kwargs,
+        fault_model=FaultModel(
             request_drop=0.02,       # verifier's nonce lost in transit
             response_drop=0.05,      # device's m||mac lost
             confirmation_drop=0.20,  # verifier's mac' lost (the hard case)
@@ -46,6 +45,8 @@ def main() -> None:
             revoke_prob=0.05,        # device decommissioned mid-campaign
             min_fleet_size=fleet_size // 2,
         ),
+    ))
+    simulator = service.simulator(
         adversaries=[
             ReplayAdversary(probability=0.3),
             TamperAdversary(probability=0.05, factor=1.5),

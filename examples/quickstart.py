@@ -17,7 +17,14 @@ import time
 
 import numpy as np
 
-from repro import DeviceSoC, SoCConfig, provision, provision_fleet, run_session
+from repro import (
+    AuthService,
+    DeviceSoC,
+    FleetConfig,
+    SoCConfig,
+    provision,
+    run_session,
+)
 from repro.accelerator.network import LayerConfig, NetworkConfig
 from repro.protocols import (
     AttestationDevice,
@@ -82,18 +89,18 @@ def main() -> None:
           f"({len(sealed_output)} B)")
     print(f"owner-side decrypted result              -> {np.round(output, 4)}")
 
-    print("\n=== 6. Fleet-scale batch authentication (compiled engine) ===")
-    _, fleet_devices, fleet_verifier = provision_fleet(
-        4, seed=2024, challenge_bits=32, n_stages=6, response_bits=16,
-    )
+    print("\n=== 6. Fleet-scale batch authentication (AuthService) ===")
+    service = AuthService.provision(FleetConfig(
+        n_devices=4, seed=2024,
+        puf=dict(challenge_bits=32, n_stages=6, response_bits=16),
+    ))
     start = time.perf_counter()
     rounds = 3
     accepted = sum(
-        fleet_verifier.authenticate_fleet(fleet_devices).n_accepted
-        for _ in range(rounds)
+        service.authenticate_batch().n_accepted for _ in range(rounds)
     )
     elapsed = time.perf_counter() - start
-    total = len(fleet_devices) * rounds
+    total = len(service) * rounds
     print(f"{accepted}/{total} fleet sessions ok "
           f"-> {total / elapsed:.0f} auths/s")
     print("\nquickstart complete.")

@@ -13,14 +13,18 @@ Subpackages
 - :mod:`repro.system` — discrete-event system/SoC model
 - :mod:`repro.protocols` — mutual authentication, attestation, NN service, AKA
 - :mod:`repro.fleet` — fleet-scale enrollment registry + batch authentication
+- :mod:`repro.service` — the supported service boundary: ``AuthService``
+  facade, declarative ``FleetConfig``, policies, versioned wire codec
 
 Quickstart
 ----------
->>> from repro import DeviceSoC, provision, run_session
->>> soc = DeviceSoC()
->>> device, verifier = provision(soc)
->>> run_session(device, verifier).success
-True
+>>> from repro import AuthService, FleetConfig
+>>> service = AuthService.provision(FleetConfig(n_devices=8, seed=42))
+>>> service.authenticate_batch().n_accepted
+8
+
+(The single-device SoC path is ``provision`` / ``run_session``;
+``provision_fleet`` remains as a deprecated shim over the service.)
 """
 
 from repro.fleet import (
@@ -32,6 +36,7 @@ from repro.fleet import (
     provision_fleet,
 )
 from repro.protocols import provision, run_session
+from repro.service import AuthService, EngineConfig, FleetConfig
 from repro.puf import (
     ArbiterPUF,
     PhotonicStrongPUF,
@@ -42,11 +47,14 @@ from repro.puf import (
 )
 from repro.system import DeviceSoC, SoCConfig
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "provision",
     "run_session",
+    "AuthService",
+    "EngineConfig",
+    "FleetConfig",
     "BatchVerifier",
     "FaultModel",
     "FleetDevice",

@@ -20,6 +20,7 @@ from repro.fleet.lifecycle import (
     photonic_device_factory,
 )
 from repro.fleet.registry import DeviceRecord, FleetRegistry
+from repro.fleet.rounds import respond_round, respond_round_staged
 from repro.fleet.verifier import (
     AuthResponse,
     BatchAuthReport,
@@ -55,4 +56,6 @@ __all__ = [
     "provision_fleet",
     "respond_fleet",
     "respond_fleet_staged",
+    "respond_round",
+    "respond_round_staged",
 ]

@@ -37,12 +37,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 import numpy as np
 
 from repro.fleet.registry import FleetRegistry
+from repro.fleet.rounds import respond_round
 from repro.fleet.verifier import (
     AuthResponse,
     BatchAuthReport,
     BatchVerifier,
     FleetDevice,
-    respond_fleet,
 )
 from repro.protocols.mutual_auth import AuthenticationFailure
 from repro.puf.photonic_strong import PhotonicStrongPUF
@@ -313,6 +313,24 @@ class FleetSimulator:
         self._churn_counter = 0
         self._round_index = 0
 
+    @classmethod
+    def from_service(cls, service, faults: Optional[FaultModel] = None,
+                     adversaries: Sequence[Adversary] = (),
+                     **kwargs) -> "FleetSimulator":
+        """Drive campaigns against an :class:`repro.service.AuthService`.
+
+        The simulator is just another client of the facade: it shares
+        the service's registry, devices, and verifier (duck-typed, so
+        this module never imports :mod:`repro.service`).  Equivalent to
+        :meth:`repro.service.AuthService.simulator`.
+        """
+        return cls(
+            service.registry, service.device_list, service.verifier,
+            faults=faults if faults is not None
+            else getattr(service.config, "fault_model", None),
+            adversaries=adversaries, seed=service.config.seed, **kwargs,
+        )
+
     # -- lifecycle: churn -------------------------------------------------
 
     def enroll_device(self, device: FleetDevice,
@@ -399,7 +417,7 @@ class FleetSimulator:
                 delivered[device_id] = False
             else:
                 delivered[device_id] = True
-        fresh: List[AuthResponse] = respond_fleet(
+        fresh: List[AuthResponse] = respond_round(
             [self.devices[device_id] for device_id in responders],
             nonces, factors,
         )

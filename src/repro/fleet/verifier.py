@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -32,6 +33,7 @@ import numpy as np
 from repro.crypto.mac import mac as compute_mac
 from repro.crypto.mac import verify_mac, verify_mac_batch
 from repro.fleet.registry import FleetRegistry
+from repro.fleet.rounds import respond_round, respond_round_staged
 from repro.protocols.mutual_auth import (
     AuthenticationFailure,
     FailureKind,
@@ -44,7 +46,6 @@ from repro.protocols.mutual_auth import (
     pad_bits_batch,
     unmask_clock_count,
 )
-from repro.puf.photonic_strong import photonic_strong_family
 from repro.utils.bits import bits_from_bytes, xor_bits
 from repro.utils.rng import derive_bytes, derive_rng
 from repro.utils.serialization import (
@@ -228,83 +229,28 @@ class AuthResponse:
     tag: bytes
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated and will be removed two minor releases "
+        f"after 0.3.0; use {new} instead (see the README migration table)",
+        DeprecationWarning, stacklevel=3,
+    )
+
+
 def respond_fleet_staged(
     devices: Sequence[FleetDevice],
     nonces: Dict[str, bytes],
     tamper_factors: Optional[Dict[str, float]] = None,
 ) -> Iterator[Tuple[List[int], List[AuthResponse]]]:
-    """Device turns as a pipeline of per-shard stages.
+    """Deprecated shim over :func:`repro.fleet.rounds.respond_round_staged`.
 
-    Yields ``(positions, messages)`` chunks: the challenge-derivation
-    stage runs up front per plane group (one batched DRBG expansion),
-    the plane pass runs per shard (on the plane's sharded executor when
-    one is attached — see
-    :meth:`~repro.puf.photonic_strong.PhotonicFleet.shard`), and the
-    MAC-framing stage for shard ``i`` runs *while shard ``i + 1`` is
-    still propagating* — the consumer (the pipelined
-    :meth:`BatchVerifier.authenticate_fleet`) likewise overlaps its
-    verification stage with later shards' plane passes.
-
-    Unattached devices (heterogeneous hardware, mid-campaign churn
-    before re-stacking) fall back to their own batch-1
-    :meth:`FleetDevice.respond` and are yielded as the first chunk.
-    Concatenating all chunks by position reproduces the flat
-    :func:`respond_fleet` output exactly.
+    The round mechanism lives in :mod:`repro.fleet.rounds`; the
+    supported public entry point is
+    :meth:`repro.service.AuthService.authenticate_batch`.
     """
-    tamper_factors = tamper_factors or {}
-    fallback: List[int] = []
-    groups: Dict[int, List[int]] = {}
-    planes: Dict[int, object] = {}
-    for position, device in enumerate(devices):
-        if (device.plane is None or device.plane_row is None
-                or device.current_response is None):
-            fallback.append(position)
-        else:
-            groups.setdefault(id(device.plane), []).append(position)
-            planes[id(device.plane)] = device.plane
-    # Dispatch every plane group's pass first (an attached executor's
-    # workers start immediately), so the fallback devices' batch-1 turns
-    # and all per-shard framing below overlap the in-flight passes.
-    dispatched: List[tuple] = []
-    for key, positions in groups.items():
-        plane = planes[key]
-        members = [devices[p] for p in positions]
-        stored = np.vstack([device.current_response for device in members])
-        challenges = derive_challenge_batch(
-            stored, members[0].puf.challenge_bits
-        )
-        rows = [device.plane_row for device in members]
-        if hasattr(plane, "evaluate_staged"):
-            staged = plane.evaluate_staged(challenges[:, np.newaxis, :],
-                                           dies=rows)
-        else:  # duck-typed plane without a staged path: one chunk
-            staged = iter([(
-                np.arange(len(rows)),
-                plane.evaluate(challenges[:, np.newaxis, :], dies=rows),
-            )])
-        dispatched.append((positions, challenges, staged))
-    if fallback:
-        yield fallback, [
-            devices[position].respond(
-                nonces[devices[position].device_id],
-                tamper_factors.get(devices[position].device_id, 1.0),
-            )
-            for position in fallback
-        ]
-    for positions, challenges, staged in dispatched:
-        for chunk, fresh in staged:
-            chunk_positions: List[int] = []
-            messages: List[AuthResponse] = []
-            for index, local in enumerate(np.asarray(chunk, dtype=np.intp)):
-                position = positions[local]
-                device = devices[position]
-                chunk_positions.append(position)
-                messages.append(device.assemble_response(
-                    challenges[local], fresh[index, 0, :],
-                    nonces[device.device_id],
-                    tamper_factors.get(device.device_id, 1.0),
-                ))
-            yield chunk_positions, messages
+    _deprecated("respond_fleet_staged",
+                "repro.fleet.rounds.respond_round_staged")
+    return respond_round_staged(devices, nonces, tamper_factors)
 
 
 def respond_fleet(
@@ -312,22 +258,14 @@ def respond_fleet(
     nonces: Dict[str, bytes],
     tamper_factors: Optional[Dict[str, float]] = None,
 ) -> List[AuthResponse]:
-    """Every device's Fig. 4 turn, measured as one tensor pass per plane.
+    """Deprecated shim over :func:`repro.fleet.rounds.respond_round`.
 
-    Devices attached to a stacked execution plane are grouped: their next
-    challenges are gathered first (:func:`derive_challenge_batch`), all
-    fresh responses come back from the plane's tensor pass — sharded
-    across worker cores when an executor is attached — and only the
-    per-device message framing remains sequential.  Message order
-    matches ``devices``.  (This is the flat view of
-    :func:`respond_fleet_staged`.)
+    The round mechanism lives in :mod:`repro.fleet.rounds`; the
+    supported public entry point is
+    :meth:`repro.service.AuthService.authenticate_batch`.
     """
-    messages: List[Optional[AuthResponse]] = [None] * len(devices)
-    for positions, chunk in respond_fleet_staged(devices, nonces,
-                                                 tamper_factors):
-        for position, message in zip(positions, chunk):
-            messages[position] = message
-    return messages
+    _deprecated("respond_fleet", "repro.fleet.rounds.respond_round")
+    return respond_round(devices, nonces, tamper_factors)
 
 
 @dataclass
@@ -614,7 +552,8 @@ class BatchVerifier:
         """Run one full mutual-auth session for every device, in one call.
 
         The round is a pipeline over shards: device turns stream out of
-        :func:`respond_fleet_staged` one shard chunk at a time (challenge
+        :func:`repro.fleet.rounds.respond_round_staged` one shard chunk
+        at a time (challenge
         derivation up front, plane passes on the sharded executor's
         workers when one is attached), and each chunk's MAC framing and
         verification run *while the next shard's tensor pass is still in
@@ -625,7 +564,7 @@ class BatchVerifier:
         nonces = self.open_round([device.device_id for device in devices])
         report = BatchAuthReport()
         seen_this_round: set = set()
-        for __, messages in respond_fleet_staged(devices, nonces):
+        for __, messages in respond_round_staged(devices, nonces):
             self._verify_round_into(report, messages, nonces,
                                     seen_this_round)
         for device in devices:
@@ -794,18 +733,36 @@ class RoundCoalescer:
     def flush(self) -> Optional[BatchAuthReport]:
         """Run the pending micro-round now; settle every ticket.
 
-        Every ticket settles even when the round itself fails: a
-        protocol-level :class:`AuthenticationFailure` (e.g. a device
-        revoked between submit and flush) settles the whole micro-round
-        as failed and returns ``None`` — callers polling their tickets
-        see the outcome instead of hanging; unexpected errors settle
-        the tickets the same way, then propagate.
+        A device revoked between submit and flush settles *its own*
+        ticket as a ``not-enrolled`` rejection here, before the round
+        opens — it must not poison the micro-round it would have joined
+        (``open_round`` would raise for everyone).  Every other ticket
+        settles even when the round itself fails: a protocol-level
+        :class:`AuthenticationFailure` settles the whole micro-round as
+        failed and returns ``None`` — callers polling their tickets see
+        the outcome instead of hanging; unexpected errors settle the
+        tickets the same way, then propagate.
         """
         if not self._pending:
             return None
         pending, self._pending = self._pending, []
         self._pending_ids = set()
         self._deadline = None
+        live = []
+        for device, ticket in pending:
+            if device.device_id in self.verifier.registry:
+                live.append((device, ticket))
+            else:
+                ticket.done = True
+                ticket.accepted = False
+                ticket.failure = (
+                    f"device {device.device_id!r} was revoked while its "
+                    "request was pending"
+                )
+                ticket.failure_kind = FailureKind.NOT_ENROLLED.value
+        pending = live
+        if not pending:
+            return None
         self.micro_rounds += 1
         try:
             report = self.verifier.authenticate_fleet(
@@ -834,55 +791,32 @@ def provision_fleet(
     shard_workers: Optional[int] = None,
     **puf_kwargs,
 ):
-    """Build, provision and enroll a whole fleet from one die family.
+    """Deprecated shim over :meth:`repro.service.AuthService.provision`.
 
-    Returns ``(registry, devices, verifier)``.  Every die shares the
-    design of :func:`photonic_strong_family`.
+    Returns the legacy ``(registry, devices, verifier)`` tuple; the
+    supported entry point is
 
-    With ``stacked`` (default), the whole family is compiled **once**
-    into a fleet-stacked execution plane
-    (:class:`~repro.puf.photonic_strong.PhotonicFleet`): provisioning
-    responses and the optional spot-check pools are harvested as single
-    stacked tensor passes, and every device is plane-attached so
-    subsequent :meth:`BatchVerifier.authenticate_fleet` rounds run one
-    pass per round.  ``stacked=False`` forces the per-die path (one
-    compile and one batch-1 interrogation per device) — the provisioning
-    baseline the fleet-throughput benchmark pins against.
+    >>> from repro.service import AuthService, EngineConfig, FleetConfig
+    >>> service = AuthService.provision(FleetConfig(n_devices=4))
 
-    ``shard_workers`` additionally attaches a sharded multi-core
-    executor to the stacked plane (see
-    :meth:`~repro.puf.photonic_strong.PhotonicFleet.shard`): the
-    provisioning harvests and every subsequent round then run one shard
-    per worker core, bit-identical to the single-process plane.  Shut it
-    down with ``devices[0].plane.close_executor()`` when done.
+    which yields bit-identical provisioning (same challenge streams,
+    noise realisations, and enrollment records) plus the facade verbs
+    on top.  The execution plane the service compiles stays attached to
+    the returned devices; shut its sharded executor down with
+    ``devices[0].plane.close_executor()`` when ``shard_workers`` was
+    used.
     """
-    family = photonic_strong_family(n_devices, seed=seed, **puf_kwargs)
-    registry = FleetRegistry()
-    plane = family.stack() if stacked else None
-    if plane is not None and shard_workers is not None:
-        plane.shard(n_workers=shard_workers)
-    if plane is None:
-        devices: List[FleetDevice] = []
-        for die in range(n_devices):
-            device = FleetDevice(f"dev-{die:06d}", family.device(die))
-            device.provision(seed)
-            registry.enroll(device, n_spot_crps=n_spot_crps, seed=seed)
-            devices.append(device)
-        return registry, devices, BatchVerifier(registry, seed=seed)
-    pufs = plane.pufs
-    devices = [FleetDevice(f"dev-{die:06d}", pufs[die])
-               for die in range(n_devices)]
-    # Manufacturing-time measurement of every die's enrollment CRP in one
-    # stacked pass (same challenge streams and noise realisations as the
-    # per-die FleetDevice.provision path).
-    challenges = np.stack([
-        provisioning_challenge(seed, device.device_id,
-                               pufs[0].challenge_bits)
-        for device in devices
-    ])
-    responses = plane.evaluate(challenges[:, np.newaxis, :])[:, 0, :]
-    for die, device in enumerate(devices):
-        device.current_response = np.asarray(responses[die], dtype=np.uint8)
-        device.attach_plane(plane, die)
-    registry.enroll_fleet(devices, n_spot_crps=n_spot_crps, seed=seed)
-    return registry, devices, BatchVerifier(registry, seed=seed)
+    _deprecated(
+        "provision_fleet",
+        "repro.service.AuthService.provision(FleetConfig(...))",
+    )
+    from repro.service import AuthService, EngineConfig, FleetConfig
+
+    service = AuthService.provision(FleetConfig(
+        n_devices=n_devices,
+        seed=seed,
+        n_spot_crps=n_spot_crps,
+        engine=EngineConfig(stacked=stacked, shard_workers=shard_workers),
+        puf=puf_kwargs,
+    ))
+    return service.registry, service.device_list, service.verifier

@@ -67,6 +67,10 @@ class FailureKind(str, Enum):
     BAD_CONFIRMATION = "bad-confirmation"
     NO_SESSION = "no-session"
     POOL_EXHAUSTED = "pool-exhausted"
+    # Service-layer kinds: policy vetoes and wire-codec rejections from
+    # repro.service classify with the same vocabulary as protocol checks.
+    RATE_LIMITED = "rate-limited"
+    UNSUPPORTED_VERSION = "unsupported-version"
     UNSPECIFIED = "unspecified"
 
 

@@ -1,0 +1,68 @@
+"""The supported service boundary of the fleet authentication stack.
+
+``repro.service`` is the single entry point for production use:
+
+>>> from repro.service import AuthService, FleetConfig
+>>> service = AuthService.provision(FleetConfig(n_devices=8, seed=42))
+>>> report = service.authenticate_batch()
+>>> report.n_accepted
+8
+
+* :mod:`repro.service.config` — :class:`FleetConfig` /
+  :class:`EngineConfig`, the declarative home of every provisioning and
+  execution knob;
+* :mod:`repro.service.facade` — :class:`AuthService`, the verb set
+  (enroll, authenticate, spot_check, revoke, snapshot/restore) over
+  registry + verifier + coalescer + execution plane;
+* :mod:`repro.service.policy` — pluggable rate limiting, audit logging,
+  and retry policies;
+* :mod:`repro.service.codec` — the versioned wire codec every protocol
+  message round-trips through, so transports can be layered on without
+  touching protocol code.
+
+The pre-redesign free functions (``repro.fleet.provision_fleet``,
+``respond_fleet``, ``respond_fleet_staged``) are deprecated shims that
+delegate here; see the README migration table.
+"""
+
+from repro.service.codec import (
+    MAGIC,
+    SCHEMA_MAJOR,
+    SCHEMA_MINOR,
+    AuthChallenge,
+    AuthConfirmation,
+    CodecError,
+    WireType,
+    decode_message,
+    encode_message,
+    peek_header,
+)
+from repro.service.config import EngineConfig, FleetConfig
+from repro.service.facade import AuthOutcome, AuthService
+from repro.service.policy import (
+    AuditLogPolicy,
+    RateLimitPolicy,
+    RetryPolicy,
+    ServicePolicy,
+)
+
+__all__ = [
+    "MAGIC",
+    "SCHEMA_MAJOR",
+    "SCHEMA_MINOR",
+    "AuditLogPolicy",
+    "AuthChallenge",
+    "AuthConfirmation",
+    "AuthOutcome",
+    "AuthService",
+    "CodecError",
+    "EngineConfig",
+    "FleetConfig",
+    "RateLimitPolicy",
+    "RetryPolicy",
+    "ServicePolicy",
+    "WireType",
+    "decode_message",
+    "encode_message",
+    "peek_header",
+]

@@ -1,0 +1,204 @@
+"""Versioned wire codec for the fleet authentication protocol.
+
+Every protocol message — the verifier's challenge, the device's masked
+response, the verifier's confirmation, and the round report — serializes
+to a self-describing bytes frame:
+
+.. code-block:: text
+
+    +-------+-------+-------+------+----------------------------+
+    | magic | major | minor | type | length-prefixed payload    |
+    | 2 B   | 1 B   | 1 B   | 1 B  | (repro.utils.serialization)|
+    +-------+-------+-------+------+----------------------------+
+
+The header carries the schema version so transports (sockets, HTTP,
+queues) can be layered on later without touching protocol code: a
+decoder rejects frames from an unknown *major* version outright
+(:data:`~repro.protocols.mutual_auth.FailureKind.UNSUPPORTED_VERSION`)
+and accepts any minor version within its major (minor bumps are
+additive).  Payload fields reuse the injective length-prefixed encoding
+of :func:`repro.utils.serialization.encode_fields`, so encoding is
+round-trip exact: ``decode_message(encode_message(m)) == m`` for every
+message, bit for bit.
+
+Malformed frames — truncations, bad magic, unknown message types,
+wrong field counts — are rejected with :class:`CodecError`, an
+:class:`~repro.protocols.mutual_auth.AuthenticationFailure` carrying
+the shared :class:`~repro.protocols.mutual_auth.FailureKind` taxonomy,
+so transport-level rejections aggregate in round reports exactly like
+protocol-level ones.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List, Tuple, Union
+
+from repro.fleet.verifier import AuthResponse, BatchAuthReport
+from repro.protocols.mutual_auth import AuthenticationFailure, FailureKind
+from repro.utils.serialization import decode_fields, encode_fields
+
+MAGIC = b"RW"  # "repro wire"
+SCHEMA_MAJOR = 1
+SCHEMA_MINOR = 0
+
+_HEADER = struct.Struct(">2sBBB")
+
+
+class WireType(IntEnum):
+    """Message-type discriminator carried in the frame header."""
+
+    CHALLENGE = 1
+    RESPONSE = 2
+    CONFIRMATION = 3
+    REPORT = 4
+
+
+class CodecError(AuthenticationFailure):
+    """A wire frame failed to decode (truncated, foreign, or unknown)."""
+
+    def __init__(self, message: str,
+                 kind: FailureKind = FailureKind.MALFORMED):
+        super().__init__(message, kind)
+
+
+@dataclass(frozen=True)
+class AuthChallenge:
+    """The verifier's round-opening request to one device."""
+
+    device_id: str
+    nonce: bytes
+
+
+@dataclass(frozen=True)
+class AuthConfirmation:
+    """The verifier's ``mac'`` proving knowledge of the new secret."""
+
+    device_id: str
+    mac: bytes
+
+
+WireMessage = Union[AuthChallenge, AuthResponse, AuthConfirmation,
+                    BatchAuthReport]
+
+
+def _frame(wire_type: WireType, fields: List[bytes]) -> bytes:
+    header = _HEADER.pack(MAGIC, SCHEMA_MAJOR, SCHEMA_MINOR, int(wire_type))
+    return header + encode_fields(fields)
+
+
+def _flatten(pairs: dict) -> List[bytes]:
+    """Deterministic (sorted) flat field list of a string-keyed dict."""
+    flat: List[bytes] = []
+    for key in sorted(pairs):
+        value = pairs[key]
+        flat.append(key.encode("utf-8"))
+        flat.append(value if isinstance(value, (bytes, bytearray))
+                    else str(value).encode("utf-8"))
+    return flat
+
+
+def _unflatten(blob: bytes, *, text_values: bool) -> dict:
+    fields = decode_fields(blob)
+    if len(fields) % 2:
+        raise CodecError(
+            f"report section holds {len(fields)} fields, expected pairs"
+        )
+    out = {}
+    for index in range(0, len(fields), 2):
+        key = fields[index].decode("utf-8")
+        value = fields[index + 1]
+        out[key] = value.decode("utf-8") if text_values else bytes(value)
+    return out
+
+
+def encode_message(message: WireMessage) -> bytes:
+    """Serialize one protocol message to a self-describing wire frame."""
+    if isinstance(message, AuthChallenge):
+        return _frame(WireType.CHALLENGE,
+                      [message.device_id.encode("utf-8"),
+                       bytes(message.nonce)])
+    if isinstance(message, AuthResponse):
+        return _frame(WireType.RESPONSE,
+                      [message.device_id.encode("utf-8"),
+                       bytes(message.body), bytes(message.tag)])
+    if isinstance(message, AuthConfirmation):
+        return _frame(WireType.CONFIRMATION,
+                      [message.device_id.encode("utf-8"),
+                       bytes(message.mac)])
+    if isinstance(message, BatchAuthReport):
+        return _frame(WireType.REPORT, [
+            encode_fields(_flatten(message.confirmations)),
+            encode_fields(_flatten(message.failures)),
+            encode_fields(_flatten(message.failure_kinds)),
+        ])
+    raise TypeError(
+        f"not a wire message: {type(message).__name__}"
+    )
+
+
+def peek_header(data: bytes) -> Tuple[int, int, int]:
+    """``(major, minor, type)`` of a frame, validating magic and length."""
+    if len(data) < _HEADER.size:
+        raise CodecError(
+            f"frame is {len(data)} bytes, header needs {_HEADER.size}"
+        )
+    magic, major, minor, wire_type = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic!r}, expected {MAGIC!r}")
+    return major, minor, wire_type
+
+
+def decode_message(data: bytes) -> WireMessage:
+    """Inverse of :func:`encode_message`; raises :class:`CodecError`.
+
+    Unknown *major* versions are rejected (the schema contract may have
+    changed incompatibly); any minor version within the known major is
+    accepted.  Every other malformation — truncation anywhere in the
+    frame, unknown message type, wrong field count, non-UTF-8 device
+    ids — raises with ``FailureKind.MALFORMED``.
+    """
+    major, minor, wire_type = peek_header(data)
+    if major != SCHEMA_MAJOR:
+        raise CodecError(
+            f"unsupported schema major version {major} "
+            f"(this codec reads {SCHEMA_MAJOR}.x)",
+            FailureKind.UNSUPPORTED_VERSION,
+        )
+    try:
+        wire_type = WireType(wire_type)
+    except ValueError:
+        raise CodecError(f"unknown message type {wire_type}") from None
+    try:
+        fields = decode_fields(data[_HEADER.size:])
+    except ValueError as exc:
+        raise CodecError(f"malformed payload: {exc}") from exc
+    try:
+        if wire_type is WireType.CHALLENGE:
+            device_id, nonce = fields
+            return AuthChallenge(device_id.decode("utf-8"), nonce)
+        if wire_type is WireType.RESPONSE:
+            device_id, body, tag = fields
+            return AuthResponse(device_id.decode("utf-8"), body, tag)
+        if wire_type is WireType.CONFIRMATION:
+            device_id, mac = fields
+            return AuthConfirmation(device_id.decode("utf-8"), mac)
+        confirmations, failures, kinds = fields
+        return BatchAuthReport(
+            confirmations=_unflatten(confirmations, text_values=False),
+            failures=_unflatten(failures, text_values=True),
+            failure_kinds=_unflatten(kinds, text_values=True),
+        )
+    except CodecError:
+        raise
+    except ValueError as exc:
+        # Wrong field count for the type, or a non-UTF-8 device id.
+        raise CodecError(
+            f"malformed {wire_type.name} payload: {exc}"
+        ) from exc
+    except UnicodeDecodeError as exc:
+        raise CodecError(
+            f"malformed {wire_type.name} payload: {exc}"
+        ) from exc

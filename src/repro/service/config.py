@@ -1,0 +1,165 @@
+"""Declarative fleet and engine configuration for :mod:`repro.service`.
+
+Every provisioning/execution knob that used to sprawl across
+``provision_fleet(stacked=..., shard_workers=...)``, ``RoundCoalescer``
+constructor arguments, and ``FleetSimulator`` keyword arguments lives in
+two frozen dataclasses:
+
+* :class:`EngineConfig` — *how* measurements execute: the fleet-stacked
+  plane and the sharded multi-core executor;
+* :class:`FleetConfig` — *what* the fleet is and how the service runs
+  it: fleet size, seeds, spot pools, PUF design knobs, coalescer
+  budgets, the optional fault model for lifecycle simulation, and the
+  persistence path.
+
+Both validate on construction and round-trip through
+``to_state``/``from_state`` (plain JSON-serializable dicts), so a
+service snapshot carries its own configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
+
+from repro.fleet.lifecycle import FaultModel
+
+CONFIG_FORMAT = "service-fleet-config"
+CONFIG_VERSION = 1
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution-engine knobs: how photonic measurements run.
+
+    ``stacked`` compiles the whole die family into one fleet-stacked
+    execution plane (one tensor pass per round); ``shard_workers``
+    additionally attaches a sharded multi-core executor to that plane.
+    ``stacked=False`` forces the per-die batch-1 path (the provisioning
+    baseline the throughput benchmarks pin against).
+    """
+
+    stacked: bool = True
+    shard_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shard_workers is not None:
+            if int(self.shard_workers) < 1:
+                raise ValueError(
+                    f"shard_workers must be >= 1, got {self.shard_workers}"
+                )
+            if not self.stacked:
+                raise ValueError(
+                    "shard_workers requires stacked=True (the sharded "
+                    "executor runs on the fleet-stacked plane)"
+                )
+
+    def to_state(self) -> Dict[str, Any]:
+        return {"stacked": bool(self.stacked),
+                "shard_workers": (None if self.shard_workers is None
+                                  else int(self.shard_workers))}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "EngineConfig":
+        return cls(stacked=bool(state.get("stacked", True)),
+                   shard_workers=state.get("shard_workers"))
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One declarative description of a provisioned, running fleet.
+
+    ``puf`` holds the photonic design knobs forwarded to
+    :func:`repro.puf.photonic_strong.photonic_strong_family`
+    (``challenge_bits``, ``n_stages``, ``response_bits``, ...); it is
+    copied at construction so a config never aliases caller state.
+    ``latency_budget_s``/``max_batch`` parameterize the service's
+    request coalescer; ``fault_model`` seeds lifecycle simulation
+    (:meth:`repro.service.AuthService.simulator`); ``snapshot_path`` is
+    the default target of :meth:`repro.service.AuthService.save`.
+    """
+
+    n_devices: int
+    seed: int = 0
+    n_spot_crps: int = 0
+    clock_tolerance: float = 0.05
+    engine: EngineConfig = EngineConfig()
+    latency_budget_s: float = 0.005
+    max_batch: int = 256
+    fault_model: Optional[FaultModel] = None
+    snapshot_path: Optional[str] = None
+    puf: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if int(self.n_devices) < 1:
+            raise ValueError(f"n_devices must be >= 1, got {self.n_devices}")
+        if int(self.n_spot_crps) < 0:
+            raise ValueError(
+                f"n_spot_crps must be >= 0, got {self.n_spot_crps}"
+            )
+        if not 0.0 <= float(self.clock_tolerance) < 1.0:
+            raise ValueError(
+                f"clock_tolerance must lie in [0, 1), got "
+                f"{self.clock_tolerance}"
+            )
+        if float(self.latency_budget_s) < 0.0:
+            raise ValueError("latency_budget_s must be non-negative")
+        if int(self.max_batch) < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if not isinstance(self.engine, EngineConfig):
+            raise TypeError("engine must be an EngineConfig")
+        if self.fault_model is not None and not isinstance(self.fault_model,
+                                                           FaultModel):
+            raise TypeError("fault_model must be a FaultModel or None")
+        if not all(isinstance(key, str) for key in self.puf):
+            raise TypeError("puf design knobs must be keyed by name")
+        # Freeze a private copy: the config must not alias a caller dict
+        # that later mutates under it.
+        object.__setattr__(self, "puf", dict(self.puf))
+
+    def with_engine(self, **changes: Any) -> "FleetConfig":
+        """A copy with engine knobs replaced (config stays frozen)."""
+        return replace(self, engine=replace(self.engine, **changes))
+
+    def to_state(self) -> Dict[str, Any]:
+        """JSON-serializable capture; inverse of :meth:`from_state`."""
+        return {
+            "format": CONFIG_FORMAT,
+            "version": CONFIG_VERSION,
+            "n_devices": int(self.n_devices),
+            "seed": int(self.seed),
+            "n_spot_crps": int(self.n_spot_crps),
+            "clock_tolerance": float(self.clock_tolerance),
+            "engine": self.engine.to_state(),
+            "latency_budget_s": float(self.latency_budget_s),
+            "max_batch": int(self.max_batch),
+            "fault_model": (None if self.fault_model is None
+                            else asdict(self.fault_model)),
+            "snapshot_path": self.snapshot_path,
+            "puf": dict(self.puf),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "FleetConfig":
+        if state.get("format") != CONFIG_FORMAT:
+            raise ValueError(
+                f"not a fleet-config state: {state.get('format')!r}"
+            )
+        if state.get("version") != CONFIG_VERSION:
+            raise ValueError(
+                f"unsupported fleet-config version {state.get('version')!r}"
+            )
+        fault_state = state.get("fault_model")
+        return cls(
+            n_devices=int(state["n_devices"]),
+            seed=int(state.get("seed", 0)),
+            n_spot_crps=int(state.get("n_spot_crps", 0)),
+            clock_tolerance=float(state.get("clock_tolerance", 0.05)),
+            engine=EngineConfig.from_state(state.get("engine", {})),
+            latency_budget_s=float(state.get("latency_budget_s", 0.005)),
+            max_batch=int(state.get("max_batch", 256)),
+            fault_model=(None if fault_state is None
+                         else FaultModel(**fault_state)),
+            snapshot_path=state.get("snapshot_path"),
+            puf=dict(state.get("puf", {})),
+        )

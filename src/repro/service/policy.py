@@ -1,0 +1,171 @@
+"""Pluggable service policies: rate limiting, audit logging, retries.
+
+:class:`repro.service.AuthService` threads every lifecycle event through
+its configured policies.  A policy may *observe* (audit logging) or
+*veto* (rate limiting) — a veto is expressed by raising
+:class:`~repro.protocols.mutual_auth.AuthenticationFailure`, so policy
+denials land in round reports under the same
+:class:`~repro.protocols.mutual_auth.FailureKind` taxonomy as protocol
+rejections.  :class:`RetryPolicy` is a plain decision object consumed by
+:meth:`~repro.service.AuthService.authenticate` for transient failures.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional
+
+from repro.fleet.verifier import BatchAuthReport
+from repro.protocols.mutual_auth import AuthenticationFailure, FailureKind
+
+
+class ServicePolicy:
+    """Base policy: every hook is a no-op.  Subclass what you need.
+
+    Hooks run in the order policies were handed to the service;
+    ``before_authenticate`` raises to deny a device's request.
+    """
+
+    name = "policy"
+
+    def on_enroll(self, device_id: str) -> None:
+        """A device was enrolled."""
+
+    def on_revoke(self, device_id: str) -> None:
+        """A device was revoked."""
+
+    def before_authenticate(self, device_id: str) -> None:
+        """About to admit ``device_id`` into a round; raise to deny."""
+
+    def after_round(self, report: BatchAuthReport) -> None:
+        """A round settled; the report includes policy denials."""
+
+
+class RateLimitPolicy(ServicePolicy):
+    """Sliding-window per-device rate limiting.
+
+    A device may enter at most ``max_requests`` rounds per ``window_s``
+    seconds; excess requests are denied with
+    ``FailureKind.RATE_LIMITED`` before they reach the verifier (no
+    nonce is burned, no plane pass runs).  ``clock`` is injectable so
+    tests drive a fake clock.
+    """
+
+    name = "rate-limit"
+
+    def __init__(self, max_requests: int, window_s: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_requests < 1:
+            raise ValueError(f"max_requests must be >= 1, got {max_requests}")
+        if window_s <= 0.0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.max_requests = int(max_requests)
+        self.window_s = float(window_s)
+        self._clock = clock
+        self._arrivals: Dict[str, Deque[float]] = {}
+
+    def before_authenticate(self, device_id: str) -> None:
+        now = self._clock()
+        window = self._arrivals.setdefault(device_id, deque())
+        while window and window[0] <= now - self.window_s:
+            window.popleft()
+        if len(window) >= self.max_requests:
+            raise AuthenticationFailure(
+                f"device {device_id!r} exceeded {self.max_requests} "
+                f"requests per {self.window_s} s",
+                FailureKind.RATE_LIMITED,
+            )
+        window.append(now)
+
+    def on_revoke(self, device_id: str) -> None:
+        self._arrivals.pop(device_id, None)
+
+
+class AuditLogPolicy(ServicePolicy):
+    """Structured audit trail of service lifecycle events.
+
+    Events are dicts (``{"event": ..., ...}``) appended to a bounded
+    in-memory ring (:attr:`events`) and optionally forwarded to a
+    ``sink`` callable (a logger, a queue producer).  The ring is bounded
+    so a long-lived service never grows without limit.
+    """
+
+    name = "audit"
+
+    def __init__(self, sink: Optional[Callable[[dict], None]] = None,
+                 capacity: int = 10_000):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.events: Deque[dict] = deque(maxlen=int(capacity))
+        self._sink = sink
+
+    def record(self, event: str, **payload) -> None:
+        entry = {"event": event, **payload}
+        self.events.append(entry)
+        if self._sink is not None:
+            self._sink(entry)
+
+    def on_enroll(self, device_id: str) -> None:
+        self.record("enroll", device_id=device_id)
+
+    def on_revoke(self, device_id: str) -> None:
+        self.record("revoke", device_id=device_id)
+
+    def after_round(self, report: BatchAuthReport) -> None:
+        self.record(
+            "round",
+            accepted=report.n_accepted,
+            rejected=report.n_rejected,
+            failure_kinds=dict(report.failure_kinds),
+        )
+
+
+#: Failure kinds a plain retry can plausibly clear: interference from a
+#: colliding or injected message, not a broken device or stale secret.
+TRANSIENT_KINDS: FrozenSet[str] = frozenset({
+    FailureKind.DUPLICATE_DEVICE.value,
+    FailureKind.REPLAY.value,
+    FailureKind.NO_NONCE.value,
+})
+
+
+class RetryPolicy:
+    """Retry decision for :meth:`repro.service.AuthService.authenticate`.
+
+    ``max_retries`` bounds the extra attempts; ``retryable`` names the
+    :class:`~repro.protocols.mutual_auth.FailureKind` values (by string)
+    worth retrying.  Deterministic failures (bad MAC, clock anomaly,
+    revocation) are never retried by default — the outcome would not
+    change.
+    """
+
+    def __init__(self, max_retries: int = 2,
+                 retryable: FrozenSet[str] = TRANSIENT_KINDS):
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.max_retries = int(max_retries)
+        self.retryable = frozenset(retryable)
+
+    def should_retry(self, failure_kind: Optional[str],
+                     attempt: int) -> bool:
+        """``attempt`` counts completed tries (first call passes 1)."""
+        return (attempt <= self.max_retries
+                and failure_kind in self.retryable)
+
+
+def run_hooks(policies: List[ServicePolicy], hook: str, *args) -> None:
+    """Invoke one observing hook on every policy, in order."""
+    for policy in policies:
+        getattr(policy, hook)(*args)
+
+
+def deny_reason(policies: List[ServicePolicy],
+                device_id: str) -> Optional[AuthenticationFailure]:
+    """First policy veto for ``device_id``, or ``None`` when admitted."""
+    for policy in policies:
+        try:
+            policy.before_authenticate(device_id)
+        except AuthenticationFailure as failure:
+            return failure
+    return None

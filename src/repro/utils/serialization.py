@@ -25,6 +25,17 @@ _LENGTH = struct.Struct(">I")
 #: Reserved array key carrying the JSON manifest inside a state archive.
 MANIFEST_KEY = "manifest_json"
 
+#: Reserved manifest key carrying the archive schema version.
+SCHEMA_VERSION_KEY = "schema_version"
+
+#: On-disk state schema version stamped into every manifest by
+#: :func:`save_state`.  Bump the *major* when an archive written by the
+#: new code can no longer be read by the old rules (``load_state``
+#: rejects foreign majors outright); bump the *minor* for additive
+#: changes.
+STATE_SCHEMA_MAJOR = 1
+STATE_SCHEMA_MINOR = 0
+
 
 def encode_fields(fields: Sequence[bytes]) -> bytes:
     """Length-prefix and concatenate a sequence of byte fields."""
@@ -60,14 +71,22 @@ def save_state(path: str, manifest: dict,
 
     ``manifest`` must be JSON-serializable; array keys must be valid
     Python identifiers (``np.savez`` keyword constraint) and must not
-    collide with :data:`MANIFEST_KEY`.  Returns the path actually
-    written (``np.savez`` appends the ``.npz`` suffix when missing).
+    collide with :data:`MANIFEST_KEY`.  The manifest is stamped with
+    the current archive schema version under the reserved
+    :data:`SCHEMA_VERSION_KEY` (stripped again by :func:`load_state`).
+    Returns the path actually written (``np.savez`` appends the
+    ``.npz`` suffix when missing).
     """
     if MANIFEST_KEY in arrays:
         raise ValueError(f"array key {MANIFEST_KEY!r} is reserved")
+    if SCHEMA_VERSION_KEY in manifest:
+        raise ValueError(f"manifest key {SCHEMA_VERSION_KEY!r} is reserved")
+    stamped = dict(manifest)
+    stamped[SCHEMA_VERSION_KEY] = \
+        f"{STATE_SCHEMA_MAJOR}.{STATE_SCHEMA_MINOR}"
     payload: Dict[str, np.ndarray] = {
         MANIFEST_KEY: np.frombuffer(
-            json.dumps(manifest, sort_keys=True).encode(), dtype=np.uint8
+            json.dumps(stamped, sort_keys=True).encode(), dtype=np.uint8
         ),
     }
     for key, value in arrays.items():
@@ -77,8 +96,40 @@ def save_state(path: str, manifest: dict,
     return path if path.endswith(".npz") else path + ".npz"
 
 
+def _check_schema_version(manifest: dict, path: str) -> None:
+    """Strip and validate the archive's schema version stamp.
+
+    Archives written before versioning carry no stamp and are accepted
+    as legacy (their layout predates every incompatible change by
+    construction).  A stamped archive from an unknown *major* is
+    rejected outright — silently best-effort reads of a foreign layout
+    corrupt registries — while newer minors within the known major are
+    accepted (minor bumps are additive).
+    """
+    version = manifest.pop(SCHEMA_VERSION_KEY, None)
+    if version is None:
+        return
+    try:
+        major = int(str(version).split(".", 1)[0])
+    except ValueError:
+        raise ValueError(
+            f"{path!r} carries unparsable schema version {version!r}"
+        ) from None
+    if major != STATE_SCHEMA_MAJOR:
+        raise ValueError(
+            f"{path!r} was written with state schema version {version}; "
+            f"this build reads major version {STATE_SCHEMA_MAJOR} only — "
+            "migrate the archive or upgrade the reader"
+        )
+
+
 def load_state(path: str) -> Tuple[dict, Dict[str, np.ndarray]]:
-    """Inverse of :func:`save_state`: ``(manifest, arrays)``."""
+    """Inverse of :func:`save_state`: ``(manifest, arrays)``.
+
+    Rejects archives stamped with an unknown schema *major* version
+    (see :func:`_check_schema_version`); the version stamp itself is
+    stripped from the returned manifest.
+    """
     with np.load(path) as archive:
         try:
             manifest = json.loads(bytes(archive[MANIFEST_KEY]).decode())
@@ -86,6 +137,7 @@ def load_state(path: str) -> Tuple[dict, Dict[str, np.ndarray]]:
             raise ValueError(
                 f"{path!r} is not a state archive (no {MANIFEST_KEY!r} entry)"
             ) from None
+        _check_schema_version(manifest, str(path))
         arrays = {key: archive[key] for key in archive.files
                   if key != MANIFEST_KEY}
     return manifest, arrays

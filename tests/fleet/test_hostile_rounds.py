@@ -9,10 +9,11 @@ neither side of any device desynchronizes.
 import numpy as np
 
 from repro.crypto.mac import mac as compute_mac
-from repro.fleet import provision_fleet
 from repro.fleet.verifier import AuthResponse
 from repro.protocols.mutual_auth import FailureKind, _pad_bits
 from repro.utils.serialization import decode_fields, encode_fields
+
+from facade_bridge import provision_fleet
 
 
 FAST_PUF = dict(challenge_bits=32, n_stages=4, response_bits=16)

@@ -16,18 +16,21 @@ from repro.fleet import (
     ReplayAdversary,
     TamperAdversary,
     photonic_device_factory,
-    provision_fleet,
 )
 from repro.protocols.mutual_auth import FailureKind
+from repro.service import AuthService, FleetConfig
 
+
+from facade_bridge import provision_fleet
 
 FAST_PUF = dict(challenge_bits=32, n_stages=4, response_bits=16)
 
 
 def build_simulator(n_devices, seed, **kwargs):
-    registry, devices, verifier = provision_fleet(n_devices, seed=seed,
-                                                  **FAST_PUF)
-    return FleetSimulator(registry, devices, verifier, seed=seed, **kwargs)
+    # Lifecycle simulation is just another client of the facade.
+    service = AuthService.provision(FleetConfig(
+        n_devices=n_devices, seed=seed, puf=FAST_PUF))
+    return FleetSimulator.from_service(service, **kwargs)
 
 
 class TestFaultModelValidation:

@@ -7,10 +7,11 @@ from repro.fleet import (
     BatchVerifier,
     FleetDevice,
     FleetRegistry,
-    provision_fleet,
 )
 from repro.protocols.mutual_auth import AuthenticationFailure
 from repro.utils.serialization import load_state, save_state
+
+from facade_bridge import provision_fleet
 
 
 FAST_PUF = dict(challenge_bits=32, n_stages=4, response_bits=16)

@@ -15,10 +15,11 @@ import pytest
 from repro.fleet import (
     FleetSimulator,
     RoundCoalescer,
-    provision_fleet,
-    respond_fleet,
-    respond_fleet_staged,
+    respond_round as respond_fleet,
+    respond_round_staged as respond_fleet_staged,
 )
+
+from facade_bridge import provision_fleet
 
 N_DEVICES = 10
 CONFIG = dict(challenge_bits=32, n_stages=6, response_bits=16,
@@ -263,9 +264,15 @@ class TestRoundCoalescer:
         report = coalescer.flush()
         assert report.n_accepted == 1 and ticket.accepted
 
-    def test_revoked_mid_coalesce_settles_every_ticket(self, clocked,
-                                                       sharded_fleet):
-        """A round that raises must settle tickets, not strand them."""
+    def test_revoked_mid_coalesce_fails_only_that_ticket(self, clocked,
+                                                         sharded_fleet):
+        """Revocation between submit and flush rejects the victim only.
+
+        Regression: the revoked device used to reach ``open_round``,
+        which raised ``not-enrolled`` for the *whole* micro-round and
+        settled every ticket as failed.  The flush must screen revoked
+        devices out first so the survivors still authenticate.
+        """
         registry, devices, verifier = sharded_fleet
         __, coalescer, __ = clocked
         survivor = coalescer.submit(devices[1])
@@ -273,14 +280,26 @@ class TestRoundCoalescer:
         registry.revoke(devices[2].device_id)
         verifier.evict(devices[2].device_id)
         report = coalescer.flush()
-        assert report is None
-        # Both tickets settled (the round itself failed at open_round);
-        # neither caller is left polling forever.
-        for ticket in (survivor, victim):
-            assert ticket.done and not ticket.accepted
-            assert "not enrolled" in ticket.failure
-            assert ticket.failure_kind == "not-enrolled"
+        assert report is not None and report.n_accepted == 1
+        assert survivor.done and survivor.accepted
+        assert victim.done and not victim.accepted
+        assert "revoked" in victim.failure
+        assert victim.failure_kind == "not-enrolled"
         assert coalescer.pending_count == 0
+        assert coalescer.micro_rounds == 1
+
+    def test_whole_micro_round_revoked_is_noop_round(self, clocked,
+                                                     sharded_fleet):
+        registry, devices, verifier = sharded_fleet
+        __, coalescer, __ = clocked
+        ticket = coalescer.submit(devices[3])
+        registry.revoke(devices[3].device_id)
+        verifier.evict(devices[3].device_id)
+        # Every pending device gone: no round runs at all.
+        assert coalescer.flush() is None
+        assert ticket.done and not ticket.accepted
+        assert ticket.failure_kind == "not-enrolled"
+        assert coalescer.micro_rounds == 0
 
     def test_flush_empty_is_noop(self, clocked):
         __, coalescer, __ = clocked

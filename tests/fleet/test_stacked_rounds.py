@@ -16,8 +16,7 @@ from repro.fleet import (
     FleetSimulator,
     FaultModel,
     ReplayAdversary,
-    provision_fleet,
-    respond_fleet,
+    respond_round as respond_fleet,
 )
 from repro.protocols.mutual_auth import (
     derive_challenge,
@@ -25,6 +24,8 @@ from repro.protocols.mutual_auth import (
 )
 from repro.puf.photonic_strong import PhotonicFleet, PhotonicStrongPUF
 from repro.puf import photonic_strong_family
+
+from facade_bridge import provision_fleet
 
 CFG = dict(challenge_bits=32, n_stages=3, response_bits=16)
 FLEET = 6

@@ -1,0 +1,84 @@
+"""Deprecated entry points: still functional, now warning.
+
+``provision_fleet`` / ``respond_fleet`` / ``respond_fleet_staged`` must
+(1) emit ``DeprecationWarning`` naming their replacement, and (2)
+delegate — producing results identical to the facade / rounds path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    provision_fleet,
+    respond_fleet,
+    respond_fleet_staged,
+    respond_round,
+)
+from repro.service import AuthService, FleetConfig
+
+FAST_PUF = dict(challenge_bits=32, n_stages=4, response_bits=16)
+
+
+class TestProvisionFleetShim:
+    def test_warns_and_names_replacement(self):
+        with pytest.warns(DeprecationWarning,
+                          match="AuthService.provision"):
+            provision_fleet(1, seed=81, **FAST_PUF)
+
+    def test_delegates_bit_exactly(self):
+        with pytest.warns(DeprecationWarning):
+            registry, devices, verifier = provision_fleet(
+                3, seed=82, n_spot_crps=8, **FAST_PUF)
+        service = AuthService.provision(FleetConfig(
+            n_devices=3, seed=82, n_spot_crps=8, puf=FAST_PUF))
+        assert [d.device_id for d in devices] == \
+            [d.device_id for d in service.device_list]
+        for legacy, modern in zip(devices, service.device_list):
+            assert np.array_equal(legacy.current_response,
+                                  modern.current_response)
+            legacy_record = registry.record(legacy.device_id)
+            modern_record = service.registry.record(modern.device_id)
+            assert np.array_equal(legacy_record.crp_challenges,
+                                  modern_record.crp_challenges)
+            assert np.array_equal(legacy_record.crp_responses,
+                                  modern_record.crp_responses)
+        # The shim-built verifier still serves rounds.
+        assert verifier.authenticate_fleet(devices).n_accepted == 3
+
+    def test_unstacked_and_sharding_kwargs_still_work(self):
+        with pytest.warns(DeprecationWarning):
+            __, devices, __ = provision_fleet(2, seed=83, stacked=False,
+                                              **FAST_PUF)
+        assert all(device.plane is None for device in devices)
+
+
+class TestRespondFleetShims:
+    @staticmethod
+    def twin_fleets():
+        """Two identically-seeded fleets: same nonces, same noise."""
+        return tuple(
+            AuthService.provision(FleetConfig(n_devices=3, seed=84,
+                                              puf=FAST_PUF))
+            for __ in range(2)
+        )
+
+    def test_respond_fleet_warns_and_matches_rounds(self):
+        legacy_svc, modern_svc = self.twin_fleets()
+        nonces_a = legacy_svc.verifier.open_round(legacy_svc.device_ids())
+        nonces_b = modern_svc.verifier.open_round(modern_svc.device_ids())
+        assert nonces_a == nonces_b
+        with pytest.warns(DeprecationWarning, match="respond_round"):
+            legacy = respond_fleet(legacy_svc.device_list, nonces_a)
+        modern = respond_round(modern_svc.device_list, nonces_b)
+        assert [m.device_id for m in legacy] == [m.device_id for m in modern]
+        assert [m.body for m in legacy] == [m.body for m in modern]
+        assert [m.tag for m in legacy] == [m.tag for m in modern]
+
+    def test_respond_fleet_staged_warns_and_streams(self):
+        service, __ = self.twin_fleets()
+        devices = service.device_list
+        nonces = service.verifier.open_round([d.device_id for d in devices])
+        with pytest.warns(DeprecationWarning, match="respond_round_staged"):
+            chunks = list(respond_fleet_staged(devices, nonces))
+        positions = [p for chunk, __ in chunks for p in chunk]
+        assert sorted(positions) == list(range(len(devices)))

@@ -1,0 +1,75 @@
+"""Public-API surface snapshot.
+
+The exported names of ``repro`` and ``repro.service`` are pinned
+against the checked-in manifest ``tests/api_surface.json``.  Any drift
+— a new export, a removal, a rename — fails here until the manifest is
+updated in the same change, so surface changes are always explicit and
+reviewable (CI runs this test in its own blocking step).
+
+To accept an intentional change, regenerate the manifest:
+
+    PYTHONPATH=src python -c "
+    import json, repro, repro.service
+    print(json.dumps({'repro': sorted(repro.__all__),
+                      'repro.service': sorted(repro.service.__all__)},
+                     indent=2, sort_keys=True))" > tests/api_surface.json
+"""
+
+import json
+from pathlib import Path
+
+import repro
+import repro.service
+
+MANIFEST_PATH = Path(__file__).parent / "api_surface.json"
+
+
+def load_manifest() -> dict:
+    with open(MANIFEST_PATH) as fh:
+        return json.load(fh)
+
+
+class TestSurfaceSnapshot:
+    def test_repro_exports_match_manifest(self):
+        manifest = load_manifest()
+        assert sorted(repro.__all__) == manifest["repro"], (
+            "repro.__all__ drifted from tests/api_surface.json — "
+            "update the manifest if the change is intentional"
+        )
+
+    def test_service_exports_match_manifest(self):
+        manifest = load_manifest()
+        assert sorted(repro.service.__all__) == manifest["repro.service"], (
+            "repro.service.__all__ drifted from tests/api_surface.json — "
+            "update the manifest if the change is intentional"
+        )
+
+    def test_every_export_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+        for name in repro.service.__all__:
+            assert getattr(repro.service, name, None) is not None, name
+
+    def test_no_duplicate_exports(self):
+        assert len(set(repro.__all__)) == len(repro.__all__)
+        assert len(set(repro.service.__all__)) == len(repro.service.__all__)
+
+
+class TestSupportedEntryPoints:
+    def test_facade_verbs_exist(self):
+        # The redesign's contract: the facade carries the full verb set.
+        for verb in ("provision", "enroll", "revoke", "authenticate",
+                     "authenticate_batch", "submit", "poll", "flush",
+                     "spot_check", "snapshot", "restore", "save", "load",
+                     "open_round_wire", "verify_round_wire", "simulator",
+                     "close"):
+            assert callable(getattr(repro.service.AuthService, verb)), verb
+
+    def test_deprecated_shims_still_importable(self):
+        # Importing must not warn (calling does) — pinned so the shims
+        # survive until their announced removal.
+        from repro.fleet import (  # noqa: F401
+            provision_fleet,
+            respond_fleet,
+            respond_fleet_staged,
+        )

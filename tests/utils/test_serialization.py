@@ -1,10 +1,24 @@
-"""Tests for protocol message serialization."""
+"""Tests for protocol message serialization and state archives."""
 
+import json
+
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.utils.serialization import decode_fields, encode_fields, from_hex, to_hex
+from repro.utils.serialization import (
+    MANIFEST_KEY,
+    SCHEMA_VERSION_KEY,
+    STATE_SCHEMA_MAJOR,
+    STATE_SCHEMA_MINOR,
+    decode_fields,
+    encode_fields,
+    from_hex,
+    load_state,
+    save_state,
+    to_hex,
+)
 
 
 class TestEncodeDecode:
@@ -39,3 +53,71 @@ class TestEncodeDecode:
 class TestHex:
     def test_round_trip(self):
         assert from_hex(to_hex(b"\xde\xad")) == b"\xde\xad"
+
+
+def write_archive_with_manifest(path, manifest: dict) -> None:
+    """A raw archive with full control over the stored manifest JSON."""
+    np.savez(path, **{MANIFEST_KEY: np.frombuffer(
+        json.dumps(manifest).encode(), dtype=np.uint8)})
+
+
+class TestStateSchemaVersion:
+    def test_save_stamps_current_version(self, tmp_path):
+        written = save_state(str(tmp_path / "state"), {"kind": "t"}, {})
+        with np.load(written) as archive:
+            stored = json.loads(bytes(archive[MANIFEST_KEY]).decode())
+        assert stored[SCHEMA_VERSION_KEY] == \
+            f"{STATE_SCHEMA_MAJOR}.{STATE_SCHEMA_MINOR}"
+
+    def test_load_strips_the_stamp(self, tmp_path):
+        manifest = {"kind": "t", "n": 3}
+        written = save_state(str(tmp_path / "state"), manifest, {})
+        loaded, __ = load_state(written)
+        assert loaded == manifest  # stamp is an envelope detail
+
+    def test_reserved_manifest_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="reserved"):
+            save_state(str(tmp_path / "bad"),
+                       {SCHEMA_VERSION_KEY: "9.9"}, {})
+
+    def test_unknown_major_version_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        write_archive_with_manifest(
+            path, {"kind": "t",
+                   SCHEMA_VERSION_KEY: f"{STATE_SCHEMA_MAJOR + 1}.0"})
+        with pytest.raises(ValueError, match="schema version"):
+            load_state(str(path))
+
+    def test_newer_minor_version_accepted(self, tmp_path):
+        path = tmp_path / "minor.npz"
+        write_archive_with_manifest(
+            path, {"kind": "t",
+                   SCHEMA_VERSION_KEY: f"{STATE_SCHEMA_MAJOR}.9"})
+        manifest, __ = load_state(str(path))
+        assert manifest == {"kind": "t"}
+
+    def test_legacy_unstamped_archive_accepted(self, tmp_path):
+        # Archives written before versioning carry no stamp: accepted.
+        path = tmp_path / "legacy.npz"
+        write_archive_with_manifest(path, {"kind": "t", "n": 1})
+        manifest, __ = load_state(str(path))
+        assert manifest == {"kind": "t", "n": 1}
+
+    def test_garbage_version_rejected_clearly(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        write_archive_with_manifest(
+            path, {"kind": "t", SCHEMA_VERSION_KEY: "not-a-version"})
+        with pytest.raises(ValueError, match="unparsable"):
+            load_state(str(path))
+
+    def test_registry_round_trip_still_works(self, tmp_path):
+        # The fleet registry's own save/load rides the stamped envelope.
+        from repro.service import AuthService, FleetConfig
+        from repro.fleet import FleetRegistry
+        service = AuthService.provision(FleetConfig(
+            n_devices=2, seed=91,
+            puf=dict(challenge_bits=32, n_stages=4, response_bits=16)))
+        written = service.registry.save(str(tmp_path / "registry"))
+        restored = FleetRegistry.load(written)
+        assert sorted(restored.device_ids()) == \
+            sorted(service.registry.device_ids())
