@@ -1,0 +1,76 @@
+"""The device side of a served fleet: enroll and authenticate over TCP.
+
+An :class:`~repro.service.net.AuthClient` session holding real device
+hardware — the PUF never crosses the wire; the client measures, masks,
+and MACs locally and ships only codec frames.  The session walks the
+full device lifecycle against a remote verifier:
+
+1. HELLO/WELCOME version negotiation,
+2. wire enrollment of a freshly provisioned device,
+3. repeated mutual authentication (the CRP rolls on every success —
+   two-phase commit keeps both sides synchronized even over a lossy
+   link),
+4. revocation, after which the verifier refuses the device.
+
+Run:   python examples/client_auth.py [port]
+
+With a port, dials a server started by ``examples/serve_fleet.py``;
+without one, spins up a loopback server so the demo is self-contained.
+"""
+
+import asyncio
+import contextlib
+import sys
+
+from repro.fleet import FleetDevice
+from repro.puf import PhotonicStrongPUF
+from repro.service import AuthService, FleetConfig
+from repro.service.net import AuthClient, AuthServer
+
+PUF = dict(challenge_bits=64, n_stages=8, response_bits=32)
+SEED = 7
+
+
+async def device_session(port: int) -> None:
+    # This side owns the hardware: one fresh photonic die, provisioned
+    # locally so only its enrollment response ever leaves the device.
+    puf = PhotonicStrongPUF(seed=SEED, die_index=987654, **PUF)
+    device = FleetDevice("dev-field-unit-0001", puf)
+    device.provision(SEED)
+
+    async with AuthClient.connect("127.0.0.1", port) as client:
+        major, minor = client.negotiated_version
+        print(f"connected to {client.server_peer!r}, "
+              f"negotiated wire {major}.{minor}")
+
+        await client.enroll(device)
+        print(f"enrolled {device.device_id}")
+
+        for attempt in range(3):
+            ticket = await client.authenticate(device, flush=True)
+            print(f"auth #{attempt + 1}: "
+                  f"{'accepted' if ticket.accepted else ticket.failure} "
+                  f"(CRP rolled, both sides)")
+
+        await client.revoke(device.device_id)
+        refused = await client.authenticate(device, flush=True)
+        print(f"post-revocation auth refused: {refused.failure_kind} "
+              f"({refused.failure})")
+
+
+async def main() -> None:
+    if len(sys.argv) > 1:
+        await device_session(int(sys.argv[1]))
+        return
+    # Self-contained: serve a minimal fleet on a loopback socket.
+    service = AuthService.provision(FleetConfig(
+        n_devices=1, seed=SEED, puf=PUF))
+    async with AuthServer(service) as server:
+        print(f"(no port given — started a loopback server on "
+              f"{server.port})")
+        await device_session(server.port)
+
+
+if __name__ == "__main__":
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(main())

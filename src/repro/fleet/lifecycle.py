@@ -389,10 +389,31 @@ class FleetSimulator:
         outcome.unresolved = todo
         return outcome
 
+    # -- transport hooks --------------------------------------------------
+    #
+    # The four verifier touch-points of an attempt are overridable so a
+    # transport-backed simulator (e.g. AuthClient → AuthServer over real
+    # sockets, tests/service/test_net_equality.py) can reroute them over
+    # a wire while the fault/adversary RNG draw sequence — which lives
+    # entirely in _attempt — stays bit-identical to the in-process path.
+
+    def _transport_open_round(self, ids: List[str]) -> Dict[str, bytes]:
+        return self.verifier.open_round(ids)
+
+    def _transport_verify_round(self, messages: List[AuthResponse],
+                                nonces: Dict[str, bytes]):
+        return self.verifier.verify_round(messages, nonces)
+
+    def _transport_finalize(self, device_id: str) -> None:
+        self.verifier.finalize(device_id)
+
+    def _transport_abort(self, device_id: str) -> None:
+        self.verifier.abort(device_id)
+
     def _attempt(self, ids: List[str], rng: np.random.Generator,
                  outcome: RoundOutcome) -> Set[str]:
         faults = self.faults
-        nonces = self.verifier.open_round(ids)
+        nonces = self._transport_open_round(ids)
         # Decide per-device faults and tamper overrides first (one RNG
         # draw sequence per device, as before), then measure every
         # responding device in one stacked pass per execution plane.
@@ -431,7 +452,7 @@ class FleetSimulator:
             self.stats.adversary_messages += sum(
                 1 for message in messages if id(message) not in before
             )
-        report = self.verifier.verify_round(messages, nonces)
+        report = self._transport_verify_round(messages, nonces)
         outcome.reports.append(report)
         for kind in report.failure_kinds.values():
             self.stats.count_failure(kind)
@@ -442,16 +463,16 @@ class FleetSimulator:
                 # the response — the exact ordering that desynchronizes a
                 # naive verifier.  Abort keeps both sides on the old CRP.
                 self.stats.dropped_confirmations += 1
-                self.verifier.abort(device_id)
+                self._transport_abort(device_id)
                 continue
             try:
                 self.devices[device_id].confirm(confirmation,
                                                 nonces[device_id])
             except AuthenticationFailure as failure:
                 self.stats.count_failure(failure.kind.value)
-                self.verifier.abort(device_id)
+                self._transport_abort(device_id)
                 continue
-            self.verifier.finalize(device_id)
+            self._transport_finalize(device_id)
             authenticated.add(device_id)
             self.stats.authenticated += 1
         # Wiretap for the replay adversary: traffic becomes capturable

@@ -639,6 +639,39 @@ class BatchVerifier:
             threshold=threshold,
         )
 
+    def open_spot_check(self, device_id: str,
+                        k: int = 8) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw and burn ``k`` spot CRPs for one *remote* device.
+
+        The transport-facing half of :meth:`spot_check`: when the device
+        hardware lives on the far side of a socket the verifier can only
+        ship challenges and compare what comes back.  Returns
+        ``(challenges, expected)``; the RNG draw matches a one-device
+        :meth:`spot_check` bit for bit (same stream label, same counter
+        advance), so in-process and remote spot checks burn identical
+        pool indices.
+        """
+        rng = derive_rng(self.seed, "fleet-spot", self._nonce_epoch,
+                         self._nonce_counter)
+        self._nonce_counter += 1
+        record = self.registry.record(device_id)
+        indices = self.registry.draw_spot_indices(device_id, k, rng)
+        return record.crp_challenges[indices], record.crp_responses[indices]
+
+    @staticmethod
+    def close_spot_check(expected: np.ndarray, fresh: np.ndarray,
+                         threshold: float = 0.25) -> Tuple[float, bool]:
+        """Score a remote device's spot measurements: ``(hd, accepted)``."""
+        fresh = np.asarray(fresh, dtype=np.uint8)
+        if fresh.shape != expected.shape:
+            raise AuthenticationFailure(
+                f"spot measurement shape {fresh.shape} does not match "
+                f"the drawn challenges {expected.shape}",
+                FailureKind.MALFORMED,
+            )
+        distance = float(np.mean(fresh != expected))
+        return distance, distance <= threshold
+
 
 @dataclass
 class CoalescedAuth:
@@ -702,6 +735,26 @@ class RoundCoalescer:
     @property
     def pending_count(self) -> int:
         return len(self._pending)
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """The injected clock's flush deadline, or ``None`` when idle."""
+        return self._deadline
+
+    def time_to_deadline(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds (on the injected clock) until the budget flush is due.
+
+        ``0.0`` means due *now* — :meth:`poll` flushes at exactly the
+        boundary (``clock() >= deadline``), so an event-loop timer that
+        sleeps this long and then polls honors the latency budget on the
+        same monotonic clock the coalescer itself reads.  ``None`` while
+        nothing is pending.
+        """
+        if self._deadline is None:
+            return None
+        if now is None:
+            now = self._clock()
+        return max(0.0, self._deadline - now)
 
     def submit(self, device: FleetDevice) -> CoalescedAuth:
         """Queue one device's auth request; may trigger a flush.

@@ -18,7 +18,11 @@
   and retry policies;
 * :mod:`repro.service.codec` — the versioned wire codec every protocol
   message round-trips through, so transports can be layered on without
-  touching protocol code.
+  touching protocol code;
+* :mod:`repro.service.net` — the asyncio TCP transport speaking that
+  codec: :class:`~repro.service.net.AuthServer` serves a wrapped
+  :class:`AuthService`; :class:`~repro.service.net.AuthClient` mirrors
+  the facade verbs on the device side of the socket.
 
 The pre-redesign free functions (``repro.fleet.provision_fleet``,
 ``respond_fleet``, ``respond_fleet_staged``) are deprecated shims that
@@ -32,9 +36,15 @@ from repro.service.codec import (
     AuthChallenge,
     AuthConfirmation,
     CodecError,
+    SessionHello,
+    SessionReject,
+    SessionRequest,
+    SessionResult,
+    SessionWelcome,
     WireType,
     decode_message,
     encode_message,
+    negotiate_version,
     peek_header,
 )
 from repro.service.config import EngineConfig, FleetConfig
@@ -61,8 +71,14 @@ __all__ = [
     "RateLimitPolicy",
     "RetryPolicy",
     "ServicePolicy",
+    "SessionHello",
+    "SessionReject",
+    "SessionRequest",
+    "SessionResult",
+    "SessionWelcome",
     "WireType",
     "decode_message",
     "encode_message",
+    "negotiate_version",
     "peek_header",
 ]

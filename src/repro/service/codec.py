@@ -27,14 +27,43 @@ wrong field counts — are rejected with :class:`CodecError`, an
 the shared :class:`~repro.protocols.mutual_auth.FailureKind` taxonomy,
 so transport-level rejections aggregate in round reports exactly like
 protocol-level ones.
+
+Wire format history
+-------------------
+* **1.0** — the four protocol frames: ``CHALLENGE``, ``RESPONSE``,
+  ``CONFIRMATION``, ``REPORT``.
+* **1.1** (current) — adds the *session layer* spoken by
+  :mod:`repro.service.net`: ``HELLO`` / ``WELCOME`` (version
+  negotiation), ``REJECT`` (taxonomy-coded transport refusal), and the
+  generic ``REQUEST`` / ``RESULT`` verb envelopes.  Purely additive:
+  every 1.0 frame encodes and decodes byte-identically under 1.1.
+
+Version negotiation rules (see :func:`negotiate_version`):
+
+1. The first frame on a connection is the client's
+   :class:`SessionHello`, advertising the highest wire version the
+   client speaks.
+2. A server whose *major* differs answers with a
+   :class:`SessionReject` of kind ``unsupported-version`` and closes —
+   majors are incompatible by contract, so no session exists to
+   continue.
+3. Otherwise the server answers :class:`SessionWelcome` carrying the
+   negotiated version: the shared major and ``min(client minor,
+   server minor)``.  Minor bumps are additive, so the lower minor is a
+   subset both sides speak; neither peer may send a frame type
+   introduced after the negotiated minor.
+4. Any frame that fails to decode *before* the handshake completes is
+   answered with a :class:`SessionReject` (kind ``malformed``, or
+   ``unsupported-version`` when only the major was unreadable) and the
+   connection is closed.
 """
 
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import List, Tuple, Union
+from typing import List, Mapping, Tuple, Union
 
 from repro.fleet.verifier import AuthResponse, BatchAuthReport
 from repro.protocols.mutual_auth import AuthenticationFailure, FailureKind
@@ -42,7 +71,7 @@ from repro.utils.serialization import decode_fields, encode_fields
 
 MAGIC = b"RW"  # "repro wire"
 SCHEMA_MAJOR = 1
-SCHEMA_MINOR = 0
+SCHEMA_MINOR = 1
 
 _HEADER = struct.Struct(">2sBBB")
 
@@ -54,6 +83,12 @@ class WireType(IntEnum):
     RESPONSE = 2
     CONFIRMATION = 3
     REPORT = 4
+    # Session layer — added by wire format 1.1.
+    HELLO = 5
+    WELCOME = 6
+    REJECT = 7
+    REQUEST = 8
+    RESULT = 9
 
 
 class CodecError(AuthenticationFailure):
@@ -80,8 +115,93 @@ class AuthConfirmation:
     mac: bytes
 
 
+@dataclass(frozen=True)
+class SessionHello:
+    """First frame on a connection: the client's version advertisement.
+
+    ``major``/``minor`` are the *highest* wire version the sender
+    speaks; ``peer`` is a free-form self-identification (logged, never
+    trusted).
+    """
+
+    peer: str
+    major: int = SCHEMA_MAJOR
+    minor: int = SCHEMA_MINOR
+
+
+@dataclass(frozen=True)
+class SessionWelcome:
+    """The server's handshake acceptance, carrying the negotiated
+    version — the shared major and the minimum of both minors."""
+
+    peer: str
+    major: int = SCHEMA_MAJOR
+    minor: int = SCHEMA_MINOR
+
+
+@dataclass(frozen=True)
+class SessionReject:
+    """A taxonomy-coded refusal; the sender closes after this frame."""
+
+    kind: str = FailureKind.UNSPECIFIED.value
+    reason: str = ""
+
+    def to_failure(self) -> AuthenticationFailure:
+        """The refusal as a raisable :class:`AuthenticationFailure`."""
+        try:
+            kind = FailureKind(self.kind)
+        except ValueError:
+            kind = FailureKind.UNSPECIFIED
+        return AuthenticationFailure(self.reason or self.kind, kind)
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """A client verb envelope: ``verb`` names a facade operation
+    (``enroll``, ``auth``, ``flush``, ``spot`` …), ``params`` carries
+    verb-specific bytes-valued arguments."""
+
+    verb: str
+    device_id: str = ""
+    params: Mapping[str, bytes] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """A server verb reply, correlated by ``(verb, device_id)``."""
+
+    verb: str
+    device_id: str = ""
+    ok: bool = True
+    detail: Mapping[str, bytes] = field(default_factory=dict)
+
+
 WireMessage = Union[AuthChallenge, AuthResponse, AuthConfirmation,
-                    BatchAuthReport]
+                    BatchAuthReport, SessionHello, SessionWelcome,
+                    SessionReject, SessionRequest, SessionResult]
+
+
+def negotiate_version(hello: SessionHello) -> Tuple[int, int]:
+    """Apply the negotiation rules to a client HELLO (server side).
+
+    Returns the ``(major, minor)`` to answer in the WELCOME; raises
+    :class:`CodecError` with ``FailureKind.UNSUPPORTED_VERSION`` when
+    the majors differ (the caller turns that into a wire
+    :class:`SessionReject` and closes the connection).
+    """
+    if hello.major != SCHEMA_MAJOR:
+        raise CodecError(
+            f"peer speaks wire format {hello.major}.{hello.minor}, "
+            f"this server speaks {SCHEMA_MAJOR}.x",
+            FailureKind.UNSUPPORTED_VERSION,
+        )
+    return SCHEMA_MAJOR, min(hello.minor, SCHEMA_MINOR)
+
+
+def _version_byte(value: int, label: str) -> bytes:
+    if not 0 <= int(value) <= 255:
+        raise TypeError(f"{label} version {value!r} does not fit one byte")
+    return bytes([int(value)])
 
 
 def _frame(wire_type: WireType, fields: List[bytes]) -> bytes:
@@ -134,6 +254,31 @@ def encode_message(message: WireMessage) -> bytes:
             encode_fields(_flatten(message.failures)),
             encode_fields(_flatten(message.failure_kinds)),
         ])
+    if isinstance(message, SessionHello):
+        return _frame(WireType.HELLO,
+                      [message.peer.encode("utf-8"),
+                       _version_byte(message.major, "major"),
+                       _version_byte(message.minor, "minor")])
+    if isinstance(message, SessionWelcome):
+        return _frame(WireType.WELCOME,
+                      [message.peer.encode("utf-8"),
+                       _version_byte(message.major, "major"),
+                       _version_byte(message.minor, "minor")])
+    if isinstance(message, SessionReject):
+        return _frame(WireType.REJECT,
+                      [message.kind.encode("utf-8"),
+                       message.reason.encode("utf-8")])
+    if isinstance(message, SessionRequest):
+        return _frame(WireType.REQUEST,
+                      [message.verb.encode("utf-8"),
+                       message.device_id.encode("utf-8"),
+                       encode_fields(_flatten(dict(message.params)))])
+    if isinstance(message, SessionResult):
+        return _frame(WireType.RESULT,
+                      [message.verb.encode("utf-8"),
+                       message.device_id.encode("utf-8"),
+                       b"\x01" if message.ok else b"\x00",
+                       encode_fields(_flatten(dict(message.detail)))])
     raise TypeError(
         f"not a wire message: {type(message).__name__}"
     )
@@ -185,6 +330,30 @@ def decode_message(data: bytes) -> WireMessage:
         if wire_type is WireType.CONFIRMATION:
             device_id, mac = fields
             return AuthConfirmation(device_id.decode("utf-8"), mac)
+        if wire_type in (WireType.HELLO, WireType.WELCOME):
+            peer, major, minor = fields
+            if len(major) != 1 or len(minor) != 1:
+                raise ValueError("version fields must be single bytes")
+            cls = SessionHello if wire_type is WireType.HELLO \
+                else SessionWelcome
+            return cls(peer.decode("utf-8"), major[0], minor[0])
+        if wire_type is WireType.REJECT:
+            kind, reason = fields
+            return SessionReject(kind.decode("utf-8"),
+                                 reason.decode("utf-8"))
+        if wire_type is WireType.REQUEST:
+            verb, device_id, params = fields
+            return SessionRequest(verb.decode("utf-8"),
+                                  device_id.decode("utf-8"),
+                                  _unflatten(params, text_values=False))
+        if wire_type is WireType.RESULT:
+            verb, device_id, ok, detail = fields
+            if ok not in (b"\x00", b"\x01"):
+                raise ValueError(f"RESULT ok flag must be 0/1, got {ok!r}")
+            return SessionResult(verb.decode("utf-8"),
+                                 device_id.decode("utf-8"),
+                                 ok == b"\x01",
+                                 _unflatten(detail, text_values=False))
         confirmations, failures, kinds = fields
         return BatchAuthReport(
             confirmations=_unflatten(confirmations, text_values=False),

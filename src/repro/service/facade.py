@@ -204,6 +204,17 @@ class AuthService:
         """Devices in enrollment order (the legacy tuple's list)."""
         return list(self._devices.values())
 
+    @property
+    def clock(self):
+        """The monotonic clock this service (and its coalescer) reads.
+
+        Transports that run their own flush timers — e.g.
+        :class:`repro.service.net.AuthServer` — must schedule against
+        this clock so latency budgets mean the same thing on both sides
+        of the timer.
+        """
+        return self._clock
+
     def device(self, device_id: str) -> FleetDevice:
         try:
             return self._devices[device_id]

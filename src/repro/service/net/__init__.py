@@ -1,0 +1,28 @@
+"""``repro.service.net`` — the fleet auth service, served over TCP.
+
+An asyncio transport layered on the versioned wire codec
+(:mod:`repro.service.codec`): :class:`AuthServer` wraps one
+:class:`~repro.service.facade.AuthService` and serves enroll /
+authenticate / spot-check / submit-poll-flush to concurrent device
+connections; :class:`AuthClient` mirrors the facade verb for verb on
+the device side of the socket.  See the module docstrings of
+:mod:`~repro.service.net.server`, :mod:`~repro.service.net.client`,
+and :mod:`~repro.service.net.stream` for the protocol, coalescing,
+backpressure, and isolation contracts.
+"""
+
+from repro.service.net.client import AuthClient, RemoteAuthError, RemoteTicket
+from repro.service.net.server import AuthServer, NetConfig, ServerMetrics
+from repro.service.net.stream import MAX_FRAME_BYTES, read_frame, write_frame
+
+__all__ = [
+    "AuthClient",
+    "AuthServer",
+    "MAX_FRAME_BYTES",
+    "NetConfig",
+    "RemoteAuthError",
+    "RemoteTicket",
+    "ServerMetrics",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,810 @@
+"""``AuthServer``: the fleet verifier served over asyncio TCP.
+
+The server wraps one :class:`~repro.service.facade.AuthService` and
+speaks the versioned wire codec (:mod:`repro.service.codec`) over
+length-prefixed frames (:mod:`repro.service.net.stream`), following the
+gateway/authorizer split of fleet provisioning services: connections
+are cheap per-device sessions; all protocol authority stays in the
+wrapped service.
+
+Request coalescing
+------------------
+Individually-arriving ``auth`` requests are *not* verified one by one —
+they queue into a server-wide pending micro-round with exactly the
+trigger semantics of :class:`repro.fleet.verifier.RoundCoalescer`
+(latency budget, ``max_batch``, duplicate-device flush, revoked-while-
+pending screening), so stragglers still batch onto the hot stacked
+plane.  The flush timer schedules against the *service's* injectable
+monotonic clock (:attr:`AuthService.clock`) — the same clock the
+in-process coalescer reads — so a latency budget means the same thing
+whether requests arrive through a socket or a function call.
+
+A wire micro-round is the protocol's Fig. 4 exchange, scattered:
+
+1. gather — pending ``REQUEST(auth)`` entries, across connections;
+2. ``open_round`` on the service, in arrival order (the nonce stream
+   is shared with the in-process path, bit for bit);
+3. scatter ``CHALLENGE`` frames to each device's connection;
+4. gather ``RESPONSE`` frames (bounded by ``response_timeout_s`` — a
+   silent device fails *its own* ticket, never the round);
+5. one batched ``verify_round_wire``; scatter ``CONFIRMATION`` frames
+   (accepted) and ``RESULT`` frames (rejected, with the shared
+   ``FailureKind`` taxonomy);
+6. each device acks with ``REQUEST(finalize)`` (or ``abort``) to
+   commit the two-phase CRP roll; a connection that dies before its
+   ack is aborted, keeping both sides on the old CRP.
+
+Isolation and flow control
+--------------------------
+Hostile sockets never poison a round: malformed frames get a
+taxonomy-coded ``REJECT`` and only *that* connection closes; truncated
+frames and slow-loris trickles time out per-socket
+(:func:`~repro.service.net.stream.read_frame`); a device that never
+answers its challenge is settled as failed while the rest of its
+micro-round completes.  Per-connection flow control is two-sided:
+reads pause above ``pending_high`` queued-but-unflushed requests
+(resuming at ``pending_low``), and writes run under bounded transport
+buffers (``set_write_buffer_limits``) with drain timeouts, so one slow
+or stuck peer cannot pin a round or the server's memory.  Shutdown
+drains: pending tickets flush, in-flight rounds finish, and unacked
+confirmations are aborted before the loop stops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, fields
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.protocols.mutual_auth import AuthenticationFailure, FailureKind
+from repro.service.codec import (
+    CodecError,
+    SessionHello,
+    SessionReject,
+    SessionRequest,
+    SessionResult,
+    SessionWelcome,
+    WireMessage,
+    decode_message,
+    encode_message,
+    negotiate_version,
+)
+from repro.service.net.stream import MAX_FRAME_BYTES, read_frame, write_frame
+from repro.service.policy import run_hooks
+from repro.utils.serialization import decode_fields
+
+__all__ = ["AuthServer", "NetConfig", "ServerMetrics"]
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Transport knobs for :class:`AuthServer` (all times in seconds).
+
+    ``latency_budget_s`` / ``max_batch`` default to the wrapped
+    service's :class:`~repro.service.config.FleetConfig` values, so a
+    served fleet batches exactly like the in-process coalescer.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0                       # 0 = ephemeral (read server.port)
+    peer: str = "repro-auth-server"
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    handshake_timeout_s: float = 2.0    # HELLO must land this fast
+    frame_timeout_s: float = 2.0        # slow-loris: started frames finish
+    response_timeout_s: float = 10.0    # round waits this long for devices
+    drain_timeout_s: float = 5.0        # shutdown: in-flight round grace
+    pending_high: int = 256             # pause reads: queued unflushed auths
+    pending_low: int = 64               # resume reads
+    read_buffer_bytes: int = 1 << 16    # StreamReader limit per connection
+    write_high_bytes: int = 1 << 16     # transport write buffer watermarks
+    write_low_bytes: int = 1 << 14
+    latency_budget_s: Optional[float] = None
+    max_batch: Optional[int] = None
+
+    def __post_init__(self):
+        if self.pending_low > self.pending_high:
+            raise ValueError("pending_low must not exceed pending_high")
+        if self.write_low_bytes > self.write_high_bytes:
+            raise ValueError("write_low_bytes must not exceed "
+                             "write_high_bytes")
+        for name in ("handshake_timeout_s", "frame_timeout_s",
+                     "response_timeout_s", "drain_timeout_s"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError(f"{name} must be positive")
+
+
+@dataclass
+class ServerMetrics:
+    """Counters a served deployment would export; plain ints only."""
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    handshakes_failed: int = 0
+    rejected_connections: int = 0
+    requests: int = 0
+    submitted: int = 0
+    micro_rounds: int = 0
+    flushed_by_size: int = 0
+    flushed_by_deadline: int = 0
+    flushed_by_duplicate: int = 0
+    auths_accepted: int = 0
+    auths_failed: int = 0
+    responses_timed_out: int = 0
+    acks_aborted: int = 0
+    reads_paused: int = 0
+    drained_tickets: int = 0
+
+    def to_json(self) -> Dict[str, int]:
+        return {f.name: int(getattr(self, f.name)) for f in fields(self)}
+
+
+class _Connection:
+    """Per-socket state: routing tables, watermark gate, write lock."""
+
+    def __init__(self, server: "AuthServer", reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.server = server
+        self.reader = reader
+        self.writer = writer
+        self.peer = "?"
+        self.closed = False
+        self.queued = 0                  # auths submitted, round not open yet
+        self.gate = asyncio.Event()
+        self.gate.set()
+        # device_id -> rounds awaiting this connection's RESPONSE/ack,
+        # oldest first (same-device pipelining across micro-rounds).
+        self.routes: Dict[str, Deque["_WireRound"]] = {}
+        self.explicit: Optional["_ExplicitRound"] = None
+        self.spot_pending: Dict[str, Tuple[np.ndarray, float]] = {}
+        self.ack_pending: Set[str] = set()
+        self._write_lock = asyncio.Lock()
+
+    async def send(self, frame: bytes) -> bool:
+        """Write one frame; ``False`` (and close) if the peer is gone
+        or too slow to drain — a stuck writer must not pin a round."""
+        if self.closed:
+            return False
+        try:
+            async with self._write_lock:
+                write_frame(self.writer, frame)
+                await asyncio.wait_for(self.writer.drain(),
+                                       self.server.config.frame_timeout_s)
+        except (ConnectionError, asyncio.TimeoutError, RuntimeError):
+            self.close()
+            return False
+        return True
+
+    async def send_message(self, message: WireMessage) -> bool:
+        return await self.send(encode_message(message))
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.gate.set()  # unblock a parked read so the handler exits
+        try:
+            self.writer.close()
+        except RuntimeError:
+            pass
+
+
+class _WireRound:
+    """One scattered micro-round: who owes a RESPONSE, what arrived."""
+
+    def __init__(self, entries: List[Tuple[_Connection, str]]):
+        self.entries = entries
+        self.order = [device_id for __, device_id in entries]
+        self.conn_of = {device_id: conn for conn, device_id in entries}
+        self.nonces: Dict[str, bytes] = {}
+        self.responses: Dict[str, bytes] = {}   # arrival order (dict)
+        self.outstanding: Set[str] = set(self.order)
+        self.complete = asyncio.Event()
+
+    def deliver(self, device_id: str, frame: bytes) -> None:
+        if device_id in self.outstanding:
+            self.responses[device_id] = frame
+            self.lose(device_id)
+
+    def lose(self, device_id: str) -> None:
+        self.outstanding.discard(device_id)
+        if not self.outstanding:
+            self.complete.set()
+
+
+class _ExplicitRound:
+    """A client-driven ``open-round``/``close-round`` gateway round."""
+
+    def __init__(self, nonces: Dict[str, bytes]):
+        self.nonces = nonces
+        self.frames: List[bytes] = []    # raw RESPONSE frames, in order
+        # A hostile gateway may stuff unboundedly many frames into one
+        # round; past this the connection is rejected, not the round.
+        self.max_frames = max(64, 4 * len(nonces))
+
+
+class AuthServer:
+    """Serve one :class:`~repro.service.facade.AuthService` over TCP.
+
+    >>> async with AuthServer(service, NetConfig(port=0)) as server:
+    ...     client = await AuthClient.connect("127.0.0.1", server.port)
+
+    The server owns no protocol state of its own — every verb lands on
+    the wrapped service/verifier, so snapshots, policies, and metrics
+    of the in-process path apply unchanged to served fleets.
+    """
+
+    def __init__(self, service, config: Optional[NetConfig] = None):
+        self.service = service
+        self.config = config or NetConfig()
+        self.metrics = ServerMetrics()
+        self._clock = service.clock
+        self._budget = (self.config.latency_budget_s
+                        if self.config.latency_budget_s is not None
+                        else service.config.latency_budget_s)
+        self._max_batch = int(self.config.max_batch
+                              or service.config.max_batch)
+        self._pending: List[Tuple[_Connection, str]] = []
+        self._pending_ids: Set[str] = set()
+        self._deadline: Optional[float] = None
+        self._deadline_set = asyncio.Event()
+        self._conns: Set[_Connection] = set()
+        self._handlers: Set[asyncio.Task] = set()
+        self._rounds: Set[asyncio.Task] = set()
+        self._ack_pending: Set[Tuple[_Connection, str]] = set()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._flush_task: Optional[asyncio.Task] = None
+        self._closing = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> "AuthServer":
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port,
+            limit=self.config.read_buffer_bytes,
+        )
+        self._flush_task = asyncio.get_running_loop().create_task(
+            self._flush_timer())
+        return self
+
+    @property
+    def port(self) -> int:
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self._server.sockets[0].getsockname()[0]
+
+    async def __aenter__(self) -> "AuthServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: drain tickets, finish rounds, abort the
+        unacked, then tear the sockets down."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Drain: pending tickets become one final micro-round.
+        if self._pending:
+            self.metrics.drained_tickets += len(self._pending)
+            self._flush()
+        if self._rounds:
+            await asyncio.wait(list(self._rounds),
+                               timeout=self.config.drain_timeout_s)
+        # Give in-flight finalize acks a moment, then abort the rest —
+        # two-phase commit keeps those devices on the old CRP.
+        loop = asyncio.get_running_loop()
+        grace = loop.time() + self.config.drain_timeout_s
+        while self._ack_pending and loop.time() < grace:
+            await asyncio.sleep(0.005)
+        for conn, device_id in list(self._ack_pending):
+            self._abort_unacked(conn, device_id)
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+        for conn in list(self._conns):
+            conn.close()
+        if self._handlers:
+            await asyncio.wait(list(self._handlers),
+                               timeout=self.config.drain_timeout_s)
+
+    # -- the shared flush timer ------------------------------------------
+
+    async def _flush_timer(self) -> None:
+        """Enforce the latency budget on the service's monotonic clock.
+
+        The decision — is the oldest pending ticket past its deadline —
+        always re-reads :attr:`AuthService.clock`, mirroring
+        :meth:`RoundCoalescer.poll`; ``asyncio.sleep`` merely paces the
+        re-reads, so an injected test clock stays authoritative.
+        """
+        while True:
+            if self._deadline is None:
+                self._deadline_set.clear()
+                await self._deadline_set.wait()
+                continue
+            delay = max(0.0, self._deadline - self._clock())
+            if delay > 0.0:
+                await asyncio.sleep(delay)
+            if self._deadline is not None and self._clock() >= self._deadline:
+                self.metrics.flushed_by_deadline += 1
+                self._flush()
+
+    def _poll(self) -> bool:
+        """Deadline-flush now if due (the wire ``poll`` verb)."""
+        if self._pending and self._clock() >= self._deadline:
+            self.metrics.flushed_by_deadline += 1
+            self._flush()
+            return True
+        return False
+
+    # -- coalescing (RoundCoalescer trigger semantics, over the wire) ----
+
+    def _submit_auth(self, conn: _Connection, device_id: str) -> None:
+        # Unknown devices are rejected at the door — one stray request
+        # must not poison the micro-round it would have joined.
+        self.service.registry.record(device_id)
+        if device_id in self._pending_ids:
+            self.metrics.flushed_by_duplicate += 1
+            self._flush()
+        self._pending.append((conn, device_id))
+        self._pending_ids.add(device_id)
+        self.metrics.submitted += 1
+        conn.queued += 1
+        self._update_gate(conn)
+        if self._deadline is None:
+            self._deadline = self._clock() + self._budget
+            self._deadline_set.set()
+        if len(self._pending) >= self._max_batch:
+            self.metrics.flushed_by_size += 1
+            self._flush()
+
+    def _flush(self) -> Optional[asyncio.Task]:
+        if not self._pending:
+            return None
+        pending, self._pending = self._pending, []
+        self._pending_ids = set()
+        self._deadline = None
+        task = asyncio.get_running_loop().create_task(
+            self._run_round(pending))
+        self._rounds.add(task)
+        task.add_done_callback(self._rounds.discard)
+        return task
+
+    def _update_gate(self, conn: _Connection) -> None:
+        if conn.queued >= self.config.pending_high and conn.gate.is_set():
+            conn.gate.clear()
+            self.metrics.reads_paused += 1
+        elif conn.queued <= self.config.pending_low and not conn.gate.is_set():
+            conn.gate.set()
+
+    async def _run_round(self, pending: List[Tuple[_Connection, str]]) -> None:
+        for conn, __ in pending:
+            conn.queued -= 1
+            self._update_gate(conn)
+        # Screen revoked-while-pending (their own not-enrolled rejection,
+        # before the round opens) and dead connections.
+        live: List[Tuple[_Connection, str]] = []
+        for conn, device_id in pending:
+            if conn.closed:
+                continue
+            if device_id in self.service.registry:
+                live.append((conn, device_id))
+            else:
+                await self._fail_auth(
+                    conn, device_id,
+                    f"device {device_id!r} was revoked while its request "
+                    "was pending", FailureKind.NOT_ENROLLED.value,
+                )
+        if not live:
+            return
+        self.metrics.micro_rounds += 1
+        ids = [device_id for __, device_id in live]
+        try:
+            nonces, challenge_frames = self.service.open_round_wire(ids)
+        except AuthenticationFailure as failure:
+            for conn, device_id in live:
+                await self._fail_auth(conn, device_id,
+                                      f"micro-round failed: {failure}",
+                                      failure.kind.value)
+            return
+        round_ = _WireRound(live)
+        round_.nonces = nonces
+        for conn, device_id in live:
+            conn.routes.setdefault(device_id, deque()).append(round_)
+            if not await conn.send(challenge_frames[device_id]):
+                self._drop_route(conn, device_id, round_)
+        if round_.outstanding:
+            try:
+                await asyncio.wait_for(round_.complete.wait(),
+                                       self.config.response_timeout_s)
+            except asyncio.TimeoutError:
+                self.metrics.responses_timed_out += len(round_.outstanding)
+        answered = list(round_.responses)           # arrival order
+        frames = [round_.responses[d] for d in answered]
+        report_frame, confirmation_frames = self.service.verify_round_wire(
+            frames, nonces)
+        report = decode_message(report_frame)
+        for conn, device_id in live:
+            self._drop_route(conn, device_id, round_)
+            if device_id in report.confirmations:
+                if await conn.send(confirmation_frames[device_id]):
+                    conn.ack_pending.add(device_id)
+                    self._ack_pending.add((conn, device_id))
+                    self.metrics.auths_accepted += 1
+                else:
+                    self._abort_unacked(conn, device_id)
+            elif device_id in report.failures:
+                await self._fail_auth(
+                    conn, device_id, report.failures[device_id],
+                    report.failure_kinds.get(device_id,
+                                             FailureKind.UNSPECIFIED.value),
+                )
+            else:
+                await self._fail_auth(
+                    conn, device_id,
+                    "no response before the round deadline",
+                    FailureKind.UNSPECIFIED.value,
+                )
+
+    @staticmethod
+    def _drop_route(conn: _Connection, device_id: str,
+                    round_: _WireRound) -> None:
+        queue = conn.routes.get(device_id)
+        if queue is not None:
+            try:
+                queue.remove(round_)
+            except ValueError:
+                pass
+            if not queue:
+                conn.routes.pop(device_id, None)
+
+    async def _fail_auth(self, conn: _Connection, device_id: str,
+                         reason: str, kind: str) -> None:
+        self.metrics.auths_failed += 1
+        await conn.send_message(SessionResult(
+            "auth", device_id, ok=False,
+            detail={"failure": reason.encode("utf-8"),
+                    "kind": kind.encode("utf-8")},
+        ))
+
+    def _abort_unacked(self, conn: _Connection, device_id: str) -> None:
+        self.metrics.acks_aborted += 1
+        conn.ack_pending.discard(device_id)
+        self._ack_pending.discard((conn, device_id))
+        self.service.verifier.abort(device_id)
+
+    # -- connection handling ---------------------------------------------
+
+    def _on_connection(self, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter) -> None:
+        if self._closing:
+            writer.close()
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._serve_connection(reader, writer))
+        self._handlers.add(task)
+        task.add_done_callback(self._handlers.discard)
+
+    async def _reject(self, conn: _Connection, kind: FailureKind,
+                      reason: str) -> None:
+        self.metrics.rejected_connections += 1
+        await conn.send_message(SessionReject(kind.value, reason))
+        conn.close()
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        config = self.config
+        try:
+            writer.transport.set_write_buffer_limits(
+                high=config.write_high_bytes, low=config.write_low_bytes)
+        except (AttributeError, RuntimeError):
+            pass
+        conn = _Connection(self, reader, writer)
+        self._conns.add(conn)
+        self.metrics.connections_opened += 1
+        try:
+            if await self._handshake(conn):
+                await self._verb_loop(conn)
+        except (ConnectionError, asyncio.TimeoutError):
+            pass
+        finally:
+            self._teardown(conn)
+            conn.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._conns.discard(conn)
+            self.metrics.connections_closed += 1
+
+    async def _handshake(self, conn: _Connection) -> bool:
+        config = self.config
+        try:
+            frame = await read_frame(conn.reader,
+                                     max_bytes=config.max_frame_bytes,
+                                     idle_timeout=config.handshake_timeout_s,
+                                     frame_timeout=config.handshake_timeout_s)
+        except (CodecError, asyncio.TimeoutError, ConnectionError):
+            self.metrics.handshakes_failed += 1
+            conn.close()
+            return False
+        if frame is None:                # mid-handshake disconnect
+            self.metrics.handshakes_failed += 1
+            conn.close()
+            return False
+        try:
+            hello = decode_message(frame)
+        except CodecError as failure:
+            self.metrics.handshakes_failed += 1
+            await self._reject(conn, failure.kind, str(failure))
+            return False
+        if not isinstance(hello, SessionHello):
+            self.metrics.handshakes_failed += 1
+            await self._reject(conn, FailureKind.MALFORMED,
+                               "the first frame must be a HELLO")
+            return False
+        try:
+            major, minor = negotiate_version(hello)
+        except CodecError as failure:
+            self.metrics.handshakes_failed += 1
+            await self._reject(conn, failure.kind, str(failure))
+            return False
+        conn.peer = hello.peer
+        return await conn.send_message(
+            SessionWelcome(config.peer, major, minor))
+
+    async def _verb_loop(self, conn: _Connection) -> None:
+        # Keeps reading while the server drains (aclose): in-flight
+        # rounds still need this connection's RESPONSE and finalize
+        # frames; aclose closes the socket once draining is done.
+        config = self.config
+        while not conn.closed:
+            await conn.gate.wait()
+            if conn.closed:
+                break
+            try:
+                frame = await read_frame(conn.reader,
+                                         max_bytes=config.max_frame_bytes,
+                                         idle_timeout=None,
+                                         frame_timeout=config.frame_timeout_s)
+            except CodecError as failure:
+                await self._reject(conn, failure.kind, str(failure))
+                break
+            except asyncio.TimeoutError:      # slow loris
+                await self._reject(conn, FailureKind.MALFORMED,
+                                   "frame did not complete in time")
+                break
+            if frame is None:
+                break
+            try:
+                message = decode_message(frame)
+            except CodecError as failure:
+                await self._reject(conn, failure.kind, str(failure))
+                break
+            if not await self._dispatch(conn, message):
+                break
+
+    async def _dispatch(self, conn: _Connection,
+                        message: WireMessage) -> bool:
+        """Handle one decoded frame; ``False`` closes the connection."""
+        from repro.fleet.verifier import AuthResponse
+        if isinstance(message, AuthResponse):
+            try:
+                self._route_response(conn, message)
+            except CodecError as failure:
+                await self._reject(conn, failure.kind, str(failure))
+                return False
+            return True
+        if isinstance(message, SessionRequest):
+            self.metrics.requests += 1
+            try:
+                await self._handle_request(conn, message)
+            except AuthenticationFailure as failure:
+                await conn.send_message(SessionResult(
+                    message.verb, message.device_id, ok=False,
+                    detail={"failure": str(failure).encode("utf-8"),
+                            "kind": failure.kind.value.encode("utf-8")},
+                ))
+            return not conn.closed
+        # CHALLENGE/CONFIRMATION/REPORT/HELLO/WELCOME from a client are
+        # protocol violations — this peer is broken or hostile.
+        await self._reject(conn, FailureKind.MALFORMED,
+                           f"unexpected {type(message).__name__} frame")
+        return False
+
+    def _route_response(self, conn: _Connection, message) -> None:
+        if conn.explicit is not None:
+            if len(conn.explicit.frames) >= conn.explicit.max_frames:
+                raise CodecError("explicit round overflow")
+            conn.explicit.frames.append(encode_message(message))
+            return
+        queue = conn.routes.get(message.device_id)
+        if queue:
+            queue[0].deliver(message.device_id, encode_message(message))
+        # else: unsolicited — drop silently; it must not poison anything.
+
+    async def _handle_request(self, conn: _Connection,
+                              request: SessionRequest) -> None:
+        verb = request.verb
+        device_id = request.device_id
+        params = request.params
+        if verb == "auth":
+            if self._closing:
+                raise AuthenticationFailure(
+                    "server is draining, retry elsewhere",
+                    FailureKind.RATE_LIMITED)
+            self._submit_auth(conn, device_id)
+            return
+        if verb == "flush":
+            # Run off-loop: the verb reply must not block this reader —
+            # the round it triggers may need frames from this very
+            # connection.
+            flushed = len(self._pending)
+            task = self._flush()
+
+            async def _report_flush():
+                if task is not None:
+                    await task
+                await conn.send_message(SessionResult(
+                    "flush", detail={"flushed": str(flushed).encode()}))
+
+            self._track(_report_flush())
+            return
+        if verb == "poll":
+            flushed = self._poll()
+            settled = list(self._rounds)   # snapshot BEFORE tracking self
+
+            async def _report_poll():
+                for round_task in settled:
+                    await asyncio.shield(round_task)
+                await conn.send_message(SessionResult(
+                    "poll", detail={"flushed": b"1" if flushed else b"0"}))
+
+            self._track(_report_poll())
+            return
+        if verb == "enroll":
+            self._handle_enroll(device_id, params)
+            await conn.send_message(SessionResult("enroll", device_id))
+            return
+        if verb == "revoke":
+            self.service.revoke(device_id)
+            await conn.send_message(SessionResult("revoke", device_id))
+            return
+        if verb == "spot":
+            k = int(params.get("k", b"8"))
+            threshold = float(params.get("threshold", b"0.25"))
+            challenges, expected = self.service.verifier.open_spot_check(
+                device_id, k)
+            conn.spot_pending[device_id] = (expected, threshold)
+            await conn.send_message(SessionResult(
+                "spot", device_id,
+                detail={"challenges": challenges.astype(np.uint8).tobytes(),
+                        "rows": str(challenges.shape[0]).encode(),
+                        "cols": str(challenges.shape[1]).encode()}))
+            return
+        if verb == "spot-submit":
+            stash = conn.spot_pending.pop(device_id, None)
+            if stash is None:
+                raise AuthenticationFailure(
+                    f"no spot check open for device {device_id!r}",
+                    FailureKind.NO_SESSION)
+            expected, threshold = stash
+            fresh = np.frombuffer(params["responses"],
+                                  dtype=np.uint8).reshape(expected.shape[0],
+                                                          -1)
+            distance, accepted = self.service.verifier.close_spot_check(
+                expected, fresh, threshold)
+            await conn.send_message(SessionResult(
+                "spot-submit", device_id,
+                detail={"hd": repr(distance).encode(),
+                        "accepted": b"1" if accepted else b"0",
+                        "threshold": repr(threshold).encode()}))
+            return
+        if verb == "open-round":
+            if conn.explicit is not None:
+                raise AuthenticationFailure(
+                    "a gateway round is already open on this connection",
+                    FailureKind.SESSION_MISMATCH)
+            ids = [raw.decode("utf-8")
+                   for raw in decode_fields(params.get("ids", b""))]
+            nonces, challenge_frames = self.service.open_round_wire(ids)
+            conn.explicit = _ExplicitRound(nonces)
+            for round_device in nonces:
+                await conn.send(challenge_frames[round_device])
+            await conn.send_message(SessionResult(
+                "open-round", detail={"count": str(len(nonces)).encode()}))
+            return
+        if verb == "close-round":
+            explicit = conn.explicit
+            if explicit is None:
+                raise AuthenticationFailure(
+                    "no gateway round open on this connection",
+                    FailureKind.NO_SESSION)
+            conn.explicit = None
+            report_frame, confirmation_frames = \
+                self.service.verify_round_wire(explicit.frames,
+                                               explicit.nonces)
+            for frame in confirmation_frames.values():
+                await conn.send(frame)
+            await conn.send(report_frame)
+            return
+        if verb == "finalize":
+            self.service.verifier.finalize(device_id)
+            conn.ack_pending.discard(device_id)
+            self._ack_pending.discard((conn, device_id))
+            await conn.send_message(SessionResult("finalize", device_id))
+            return
+        if verb == "abort":
+            self.service.verifier.abort(device_id)
+            conn.ack_pending.discard(device_id)
+            self._ack_pending.discard((conn, device_id))
+            await conn.send_message(SessionResult("abort", device_id))
+            return
+        raise AuthenticationFailure(f"unknown verb {verb!r}",
+                                    FailureKind.MALFORMED)
+
+    def _handle_enroll(self, device_id: str, params) -> None:
+        try:
+            response = np.frombuffer(params["response"], dtype=np.uint8)
+            remote = _RemoteDevice(
+                device_id=device_id,
+                current_response=response,
+                challenge_bits=int(params["challenge_bits"]),
+                firmware_hash=bytes(params["firmware_hash"]),
+                clock_count=int(params["clock_count"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise AuthenticationFailure(f"malformed enroll request: {exc}",
+                                        FailureKind.MALFORMED) from exc
+        try:
+            # Wire enrollment records the rolling CRP only: the spot pool
+            # needs physical hardware access, which a socket is not.
+            self.service.registry.enroll(remote, n_spot_crps=0)
+        except ValueError as exc:
+            raise AuthenticationFailure(str(exc),
+                                        FailureKind.DUPLICATE_DEVICE) from exc
+        run_hooks(self.service.policies, "on_enroll", device_id)
+
+    def _track(self, coro) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._rounds.add(task)
+        task.add_done_callback(self._rounds.discard)
+        return task
+
+    def _teardown(self, conn: _Connection) -> None:
+        conn.close()
+        for device_id, queue in list(conn.routes.items()):
+            for round_ in list(queue):
+                round_.lose(device_id)
+        conn.routes.clear()
+        for device_id in list(conn.ack_pending):
+            self._abort_unacked(conn, device_id)
+        conn.spot_pending.clear()
+        conn.explicit = None
+
+
+class _RemoteDevice:
+    """Registry-shaped stand-in for hardware on the far side of a socket."""
+
+    class _RemoteHardware:
+        def __init__(self, challenge_bits: int, response_bits: int):
+            self.challenge_bits = int(challenge_bits)
+            self.response_bits = int(response_bits)
+
+    def __init__(self, device_id: str, current_response: np.ndarray,
+                 challenge_bits: int, firmware_hash: bytes,
+                 clock_count: int):
+        self.device_id = device_id
+        self.current_response = current_response
+        self.firmware_hash = firmware_hash
+        self.clock_count = int(clock_count)
+        self.puf = self._RemoteHardware(challenge_bits,
+                                        int(current_response.size))

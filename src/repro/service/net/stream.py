@@ -1,0 +1,85 @@
+"""Frame transport: length-prefixed codec frames over asyncio streams.
+
+The outer transport envelope is deliberately minimal — a 4-byte
+big-endian length prefix followed by exactly that many bytes of codec
+frame (:mod:`repro.service.codec` owns everything inside).  The reader
+enforces the two transport-level failure modes the codec cannot see:
+
+* **oversize** — a length prefix beyond ``max_bytes`` is rejected
+  before a single payload byte is buffered, so a hostile peer cannot
+  make the server allocate unbounded memory;
+* **slow loris** — once the first byte of a frame has arrived, the
+  rest must follow within ``frame_timeout``; a peer that trickles one
+  byte per epoch times out (:class:`asyncio.TimeoutError`) instead of
+  pinning a connection handler forever.
+
+A clean EOF *between* frames returns ``None`` (orderly disconnect); an
+EOF *inside* a frame raises :class:`~repro.service.codec.CodecError`
+with the shared ``malformed`` taxonomy kind, exactly like a truncated
+codec payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Optional
+
+from repro.service.codec import CodecError
+
+#: Default per-frame ceiling. Generous for this protocol: the largest
+#: legitimate frame is a REPORT for a max_batch round, well under 1 MiB.
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+
+
+async def _within(coro, timeout: Optional[float]):
+    if timeout is None:
+        return await coro
+    return await asyncio.wait_for(coro, timeout)
+
+
+async def read_frame(reader: asyncio.StreamReader, *,
+                     max_bytes: int = MAX_FRAME_BYTES,
+                     idle_timeout: Optional[float] = None,
+                     frame_timeout: Optional[float] = None,
+                     ) -> Optional[bytes]:
+    """Read one length-prefixed codec frame; ``None`` on clean EOF.
+
+    ``idle_timeout`` bounds the wait for a frame to *start* (no bytes
+    in flight yet); ``frame_timeout`` bounds the arrival of the rest of
+    the frame once its first byte landed — the slow-loris guard.  Both
+    raise :class:`asyncio.TimeoutError`.  Truncation mid-frame and
+    oversized prefixes raise :class:`CodecError` (``malformed``).
+    """
+    try:
+        first = await _within(reader.readexactly(1), idle_timeout)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise CodecError("connection closed inside a frame "
+                             "length prefix") from exc
+        return None
+
+    async def _rest() -> bytes:
+        try:
+            prefix = first + await reader.readexactly(_LENGTH.size - 1)
+            (length,) = _LENGTH.unpack(prefix)
+            if length > max_bytes:
+                raise CodecError(
+                    f"frame of {length} bytes exceeds the "
+                    f"{max_bytes}-byte transport ceiling"
+                )
+            return await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise CodecError(
+                "connection closed mid-frame "
+                f"({len(exc.partial)} of {exc.expected} bytes)"
+            ) from exc
+
+    return await _within(_rest(), frame_timeout)
+
+
+def write_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
+    """Queue one frame on the writer (callers ``await writer.drain()``)."""
+    writer.write(_LENGTH.pack(len(frame)) + frame)

@@ -177,3 +177,110 @@ class TestRejection:
             decode_message(b"")
         except AuthenticationFailure as failure:
             assert failure.kind in set(FailureKind)
+
+
+class TestSessionFrames:
+    """Wire format 1.1: the session layer spoken by repro.service.net."""
+
+    def session_corpus(self, seed: int = 303, n: int = 12):
+        from repro.service import (
+            SessionHello,
+            SessionReject,
+            SessionRequest,
+            SessionResult,
+            SessionWelcome,
+        )
+        rng = derive_rng(seed, "session-corpus")
+        corpus = []
+        for __ in range(n):
+            corpus.append(SessionHello(random_id(rng),
+                                       int(rng.integers(0, 256)),
+                                       int(rng.integers(0, 256))))
+            corpus.append(SessionWelcome(random_id(rng),
+                                         int(rng.integers(0, 256)),
+                                         int(rng.integers(0, 256))))
+            corpus.append(SessionReject(FailureKind.MALFORMED.value,
+                                        "why: " + random_id(rng)))
+            params = {random_id(rng): random_bytes(rng)
+                      for __ in range(int(rng.integers(0, 4)))}
+            corpus.append(SessionRequest(random_id(rng), random_id(rng),
+                                         params))
+            corpus.append(SessionResult(random_id(rng), random_id(rng),
+                                        bool(rng.integers(2)), params))
+        corpus.append(SessionHello("", 0, 0))
+        corpus.append(SessionRequest("", "", {}))
+        corpus.append(SessionResult("", "", False, {}))
+        corpus.append(SessionReject("", ""))
+        return corpus
+
+    def test_session_frames_round_trip_bit_exactly(self):
+        for message in self.session_corpus():
+            frame = encode_message(message)
+            decoded = decode_message(frame)
+            assert decoded == message
+            assert encode_message(decoded) == frame
+
+    def test_minor_version_bumped_additively(self):
+        # 1.1 is a documented minor bump: new frame types, same major.
+        from repro.service import SCHEMA_MINOR
+        assert SCHEMA_MAJOR == 1
+        assert SCHEMA_MINOR == 1
+        for wire_type in ("HELLO", "WELCOME", "REJECT", "REQUEST",
+                          "RESULT"):
+            assert hasattr(WireType, wire_type)
+
+    def test_every_session_truncation_rejected(self):
+        for message in self.session_corpus(seed=404, n=2):
+            frame = encode_message(message)
+            for cut in range(len(frame)):
+                with pytest.raises(CodecError) as excinfo:
+                    decode_message(frame[:cut])
+                assert excinfo.value.kind is FailureKind.MALFORMED
+
+    def test_negotiation_same_major_takes_min_minor(self):
+        from repro.service import (
+            SCHEMA_MINOR,
+            SessionHello,
+            negotiate_version,
+        )
+        assert negotiate_version(
+            SessionHello("dev", SCHEMA_MAJOR, 0)) == (SCHEMA_MAJOR, 0)
+        assert negotiate_version(
+            SessionHello("dev", SCHEMA_MAJOR, 250)) == (SCHEMA_MAJOR,
+                                                        SCHEMA_MINOR)
+
+    def test_negotiation_foreign_major_unsupported(self):
+        from repro.service import SessionHello, negotiate_version
+        with pytest.raises(CodecError) as excinfo:
+            negotiate_version(SessionHello("dev", SCHEMA_MAJOR + 1, 0))
+        assert excinfo.value.kind is FailureKind.UNSUPPORTED_VERSION
+
+    def test_reject_maps_back_to_failure_taxonomy(self):
+        from repro.service import SessionReject
+        failure = SessionReject(FailureKind.UNSUPPORTED_VERSION.value,
+                                "go away").to_failure()
+        assert failure.kind is FailureKind.UNSUPPORTED_VERSION
+        assert SessionReject("not-a-kind", "x").to_failure().kind \
+            is FailureKind.UNSPECIFIED
+
+    def test_result_ok_flag_must_be_canonical(self):
+        from repro.service import SCHEMA_MINOR
+        from repro.utils.serialization import encode_fields
+        # Hand-build a RESULT whose ok flag is 2 — not a canonical bool.
+        frame = MAGIC + bytes([SCHEMA_MAJOR, SCHEMA_MINOR,
+                               int(WireType.RESULT)]) + encode_fields(
+            [b"auth", b"dev", b"\x02", encode_fields([])])
+        with pytest.raises(CodecError, match="ok flag"):
+            decode_message(frame)
+
+    def test_version_byte_range_enforced_on_encode(self):
+        from repro.service import SessionHello
+        with pytest.raises(TypeError):
+            encode_message(SessionHello("dev", 256, 0))
+
+    def test_legacy_1_0_frames_decode_under_1_1(self):
+        # A frame stamped minor=0 (a 1.0 sender) decodes identically.
+        message = AuthChallenge("dev", b"nonce")
+        frame = bytearray(encode_message(message))
+        frame[3] = 0
+        assert decode_message(bytes(frame)) == message

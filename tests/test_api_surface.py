@@ -1,17 +1,20 @@
 """Public-API surface snapshot.
 
-The exported names of ``repro`` and ``repro.service`` are pinned
-against the checked-in manifest ``tests/api_surface.json``.  Any drift
-— a new export, a removal, a rename — fails here until the manifest is
-updated in the same change, so surface changes are always explicit and
-reviewable (CI runs this test in its own blocking step).
+The exported names of ``repro``, ``repro.service``, and
+``repro.service.net`` are pinned against the checked-in manifest
+``tests/api_surface.json``.  Any drift — a new export, a removal, a
+rename — fails here until the manifest is updated in the same change,
+so surface changes are always explicit and reviewable (CI runs this
+test in its own blocking step).
 
 To accept an intentional change, regenerate the manifest:
 
     PYTHONPATH=src python -c "
-    import json, repro, repro.service
+    import json, repro, repro.service, repro.service.net
     print(json.dumps({'repro': sorted(repro.__all__),
-                      'repro.service': sorted(repro.service.__all__)},
+                      'repro.service': sorted(repro.service.__all__),
+                      'repro.service.net':
+                          sorted(repro.service.net.__all__)},
                      indent=2, sort_keys=True))" > tests/api_surface.json
 """
 
@@ -20,6 +23,7 @@ from pathlib import Path
 
 import repro
 import repro.service
+import repro.service.net
 
 MANIFEST_PATH = Path(__file__).parent / "api_surface.json"
 
@@ -44,15 +48,28 @@ class TestSurfaceSnapshot:
             "update the manifest if the change is intentional"
         )
 
+    def test_net_exports_match_manifest(self):
+        manifest = load_manifest()
+        assert sorted(repro.service.net.__all__) == \
+            manifest["repro.service.net"], (
+                "repro.service.net.__all__ drifted from "
+                "tests/api_surface.json — update the manifest if the "
+                "change is intentional"
+            )
+
     def test_every_export_resolves(self):
         for name in repro.__all__:
             assert getattr(repro, name, None) is not None, name
         for name in repro.service.__all__:
             assert getattr(repro.service, name, None) is not None, name
+        for name in repro.service.net.__all__:
+            assert getattr(repro.service.net, name, None) is not None, name
 
     def test_no_duplicate_exports(self):
         assert len(set(repro.__all__)) == len(repro.__all__)
         assert len(set(repro.service.__all__)) == len(repro.service.__all__)
+        assert len(set(repro.service.net.__all__)) == \
+            len(repro.service.net.__all__)
 
 
 class TestSupportedEntryPoints:
@@ -64,6 +81,15 @@ class TestSupportedEntryPoints:
                      "open_round_wire", "verify_round_wire", "simulator",
                      "close"):
             assert callable(getattr(repro.service.AuthService, verb)), verb
+
+    def test_client_mirrors_facade_verbs(self):
+        # The net redesign's contract: the client SDK speaks the facade
+        # verb set, verb for verb, across the socket.
+        for verb in ("enroll", "revoke", "authenticate",
+                     "authenticate_batch", "submit", "poll", "flush",
+                     "spot_check", "open_round_wire", "verify_round_wire"):
+            assert callable(
+                getattr(repro.service.net.AuthClient, verb)), verb
 
     def test_deprecated_shims_still_importable(self):
         # Importing must not warn (calling does) — pinned so the shims
