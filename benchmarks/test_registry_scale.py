@@ -1,0 +1,335 @@
+"""REG-SCALE: the out-of-core registry at fleet scale.
+
+The acceptance bars for the pluggable storage layer (see README / CI):
+
+* ``REG_BENCH_DEVICES`` (default 100k) devices provision through a
+  :class:`~repro.fleet.storage.ShardedFileBackend` with a deliberately
+  tiny resident set, and the process peak RSS stays under
+  ``REG_RSS_CEILING_MB`` (default 2048) — fleet size bounded by disk,
+  not RAM;
+* random-access lookups and full mutual-auth rounds against the big
+  fleet take no longer than against a small one
+  (``REG_LOOKUP_RATIO``-bounded, the O(1)-lookup floor): the id →
+  (shard, offset) index makes paging a record in independent of fleet
+  size;
+* incremental checkpoints flush O(dirty), not O(fleet).
+
+The photonic simulation is *not* under test here, so devices carry the
+cheapest deterministic PUF that still drives the real mutual-auth
+protocol end to end (provision → respond → verify → roll).  Results
+land in ``BENCH_registry.json``; CI runs this as a blocking lane.  The
+full million-device run (the paper-scale claim) is gated behind
+``REG_BENCH_FULL=1`` — same harness, same ceiling.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.fleet import BatchVerifier, FleetDevice, FleetRegistry
+from repro.fleet.storage import make_backend
+
+DEVICES = int(os.environ.get("REG_BENCH_DEVICES", "100000"))
+RESIDENT = int(os.environ.get("REG_BENCH_RESIDENT", "1024"))
+RSS_CEILING_MB = float(os.environ.get("REG_RSS_CEILING_MB", "2048"))
+LOOKUP_RATIO = float(os.environ.get("REG_LOOKUP_RATIO", "8.0"))
+LOOKUPS = int(os.environ.get("REG_BENCH_LOOKUPS", "2000"))
+FULL_RUN = os.environ.get("REG_BENCH_FULL", "") == "1"
+BASELINE = max(512, DEVICES // 100)   # small-fleet O(1) reference
+AUTH_SAMPLE = 256                     # live devices kept for auth rounds
+CHUNK = 10_000                        # enrollment batch (bounds transients)
+N_POOL = 16
+SEED = 904
+REG_JSON = "BENCH_registry.json"
+
+_results = {}
+
+
+def _record(**kwargs) -> None:
+    _results.update({k: (float(f"{v:.4g}") if isinstance(v, float) else v)
+                     for k, v in kwargs.items()})
+    payload = dict(sorted(_results.items()))
+    payload["devices"] = DEVICES
+    payload["resident_records"] = RESIDENT
+    with open(REG_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _vm_rss_mb() -> float:
+    with open("/proc/self/status") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) / 1024.0
+    return float("nan")
+
+
+_peak_rss = {"mb": 0.0}
+
+
+def _sample_rss() -> float:
+    now = _vm_rss_mb()
+    _peak_rss["mb"] = max(_peak_rss["mb"], now)
+    return now
+
+
+_WEIGHTS = np.random.default_rng(SEED).integers(
+    0, 2, size=(32, 16), dtype=np.uint8)
+
+
+class LinearPUF:
+    """Deterministic linear toy PUF — vectorized, noiseless, ~free.
+
+    The bench measures where record bytes live and how fast they page
+    back in, so the photonic propagation is swapped for one uint8
+    matmul; the mutual-auth protocol on top is the real one.
+    """
+
+    challenge_bits = 32
+    response_bits = 16
+
+    def __init__(self, index: int):
+        self._bias = (((index * 0x9E3779B1) >> np.arange(16)) % 2) \
+            .astype(np.uint8)
+
+    def evaluate(self, challenge, measurement=0):
+        return self.evaluate_batch(
+            np.asarray(challenge, dtype=np.uint8)[None, :],
+            measurement=measurement)[0]
+
+    def evaluate_batch(self, challenges, measurement=0):
+        mixed = np.asarray(challenges, dtype=np.uint8) @ _WEIGHTS
+        return ((mixed + self._bias) % 2).astype(np.uint8)
+
+
+def _make_device(index: int) -> FleetDevice:
+    device = FleetDevice(f"fleet-{index:07d}", LinearPUF(index))
+    device.provision(SEED)
+    return device
+
+
+def provision_fleet(root, n_devices, resident, keep=()):
+    """Enroll ``n_devices`` synthetic devices out-of-core, in chunks.
+
+    Only the ``keep`` indices survive as live :class:`FleetDevice`
+    objects — everything else is transient, so host RAM holds the
+    backend's index and resident set, never the fleet.
+    """
+    registry = FleetRegistry(make_backend(
+        "sharded", root=str(root), resident_records=resident))
+    keep = set(keep)
+    kept = {}
+    start = time.perf_counter()
+    for lo in range(0, n_devices, CHUNK):
+        batch = [_make_device(i) for i in range(lo, min(lo + CHUNK,
+                                                        n_devices))]
+        registry.enroll_fleet(batch, n_spot_crps=N_POOL, seed=SEED)
+        for device in batch:
+            index = int(device.device_id.rsplit("-", 1)[1])
+            if index in keep:
+                kept[index] = device
+        _sample_rss()
+    enroll_s = time.perf_counter() - start
+    registry.backend.checkpoint()
+    _sample_rss()
+    return registry, kept, enroll_s
+
+
+def _lookup_us(registry, n_devices, rng, lookups) -> float:
+    """Mean random-access ``record()`` latency, fault path included."""
+    picks = rng.integers(0, n_devices, size=lookups)
+    start = time.perf_counter()
+    for index in picks:
+        record = registry.record(f"fleet-{int(index):07d}")
+        # Touch the lazily-paged pool, not just the resident slot.
+        assert int(record.crp_challenges[0, 0]) in (0, 1)
+    elapsed = time.perf_counter() - start
+    _sample_rss()
+    return elapsed / lookups * 1e6
+
+
+@pytest.fixture(scope="module")
+def big_fleet(tmp_path_factory):
+    root = tmp_path_factory.mktemp("reg-scale") / "shards"
+    _record(rss_baseline_mb=_sample_rss())
+    registry, kept, enroll_s = provision_fleet(
+        root, DEVICES, RESIDENT,
+        keep=range(0, DEVICES, max(1, DEVICES // AUTH_SAMPLE)))
+    yield registry, kept, enroll_s
+    registry.close()
+
+
+@pytest.fixture(scope="module")
+def small_fleet(tmp_path_factory):
+    root = tmp_path_factory.mktemp("reg-scale-small") / "shards"
+    registry, kept, __ = provision_fleet(
+        root, BASELINE, RESIDENT,
+        keep=range(0, BASELINE, max(1, BASELINE // AUTH_SAMPLE)))
+    yield registry, kept
+    registry.close()
+
+
+def test_registry_outofcore_provisioning(table_printer, big_fleet):
+    registry, __, enroll_s = big_fleet
+    assert len(registry) == DEVICES
+    backend = registry.backend
+    assert backend.resident_count <= RESIDENT
+    storage_mb = registry.storage_bytes / 1e6
+    peak = _peak_rss["mb"]
+    table_printer(
+        f"REG-SCALE — out-of-core provisioning ({DEVICES} devices, "
+        f"{N_POOL} spot CRPs each)",
+        ["measure", "value"],
+        [
+            ("enrollment", f"{enroll_s:.1f} s "
+                           f"({DEVICES / enroll_s:.0f} devices/s)"),
+            ("verifier storage (disk)", f"{storage_mb:.0f} MB"),
+            ("resident records", f"{backend.resident_count} "
+                                 f"(cap {RESIDENT})"),
+            ("peak RSS", f"{peak:.0f} MB (ceiling {RSS_CEILING_MB:.0f})"),
+        ],
+    )
+    _record(enroll_s=enroll_s, enroll_per_sec=DEVICES / enroll_s,
+            storage_mb=storage_mb, peak_rss_mb=peak)
+    assert peak < RSS_CEILING_MB, (
+        f"peak RSS {peak:.0f} MB breached the {RSS_CEILING_MB:.0f} MB "
+        f"out-of-core ceiling"
+    )
+
+
+def test_registry_lookup_flat_in_fleet_size(table_printer, big_fleet,
+                                            small_fleet):
+    big_registry, __, __ = big_fleet
+    small_registry, __ = small_fleet
+    # Same miss regime on both sides: with a resident cap far below
+    # either fleet, every measured lookup is a genuine page-in.
+    caps = (big_registry.backend.resident_records,
+            small_registry.backend.resident_records)
+    big_registry.backend.resident_records = 64
+    small_registry.backend.resident_records = 64
+    try:
+        rng = np.random.default_rng(SEED)
+        _lookup_us(small_registry, BASELINE, rng, 200)   # warm the path
+        small_us = _lookup_us(small_registry, BASELINE, rng, LOOKUPS)
+        big_us = _lookup_us(big_registry, DEVICES, rng, LOOKUPS)
+    finally:
+        big_registry.backend.resident_records = caps[0]
+        small_registry.backend.resident_records = caps[1]
+    ratio = big_us / small_us
+    table_printer(
+        f"REG-SCALE — random-access lookup, {BASELINE} vs {DEVICES} "
+        f"devices ({LOOKUPS} lookups)",
+        ["fleet", "per-lookup", "ratio"],
+        [
+            (f"{BASELINE} devices", f"{small_us:.1f} us", "1.0x"),
+            (f"{DEVICES} devices", f"{big_us:.1f} us", f"{ratio:.2f}x"),
+        ],
+    )
+    _record(lookup_small_us=small_us, lookup_big_us=big_us,
+            lookup_ratio=ratio)
+    assert ratio <= LOOKUP_RATIO, (
+        f"random-access lookup grew {ratio:.2f}x from {BASELINE} to "
+        f"{DEVICES} devices (floor {LOOKUP_RATIO}x) — paging is not O(1)"
+    )
+
+
+def test_registry_auth_rounds_outofcore(table_printer, big_fleet,
+                                        small_fleet):
+    big_registry, big_kept, __ = big_fleet
+    small_registry, small_kept = small_fleet
+    big_devices = [big_kept[i] for i in sorted(big_kept)][:AUTH_SAMPLE]
+    small_devices = [small_kept[i]
+                     for i in sorted(small_kept)][:AUTH_SAMPLE]
+
+    def round_s(registry, devices):
+        verifier = BatchVerifier(registry, seed=SEED)
+        report = verifier.authenticate_fleet(devices)   # warm MAC states
+        assert report.n_accepted == len(devices)
+        start = time.perf_counter()
+        report = verifier.authenticate_fleet(devices)
+        elapsed = time.perf_counter() - start
+        assert report.n_accepted == len(devices)
+        _sample_rss()
+        return elapsed
+
+    small_s = round_s(small_registry, small_devices)
+    big_s = round_s(big_registry, big_devices)
+    ratio = big_s / small_s
+    # Incremental checkpoint: 2 rounds rolled len(big_devices) records;
+    # the flush is O(dirty), and a clean checkpoint is a no-op.
+    start = time.perf_counter()
+    big_registry.backend.checkpoint()
+    checkpoint_s = time.perf_counter() - start
+    start = time.perf_counter()
+    big_registry.backend.checkpoint()
+    checkpoint_clean_s = time.perf_counter() - start
+    peak = _peak_rss["mb"]
+    table_printer(
+        f"REG-SCALE — mutual-auth rounds, {AUTH_SAMPLE}-device sample",
+        ["measure", "value"],
+        [
+            (f"round vs {BASELINE}-device fleet",
+             f"{small_s * 1e3:.1f} ms"),
+            (f"round vs {DEVICES}-device fleet",
+             f"{big_s * 1e3:.1f} ms ({ratio:.2f}x)"),
+            ("incremental checkpoint (dirty)", f"{checkpoint_s * 1e3:.1f} ms"),
+            ("incremental checkpoint (clean)",
+             f"{checkpoint_clean_s * 1e3:.2f} ms"),
+            ("peak RSS", f"{peak:.0f} MB"),
+        ],
+    )
+    _record(auth_small_s=small_s, auth_big_s=big_s, auth_ratio=ratio,
+            auths_per_sec=len(big_devices) / big_s,
+            checkpoint_dirty_s=checkpoint_s,
+            checkpoint_clean_s=checkpoint_clean_s,
+            peak_rss_mb=peak)
+    assert ratio <= LOOKUP_RATIO, (
+        f"auth-round latency grew {ratio:.2f}x from {BASELINE} to "
+        f"{DEVICES} devices (floor {LOOKUP_RATIO}x)"
+    )
+    assert peak < RSS_CEILING_MB
+
+
+@pytest.mark.skipif(not FULL_RUN,
+                    reason="million-device run is REG_BENCH_FULL=1 gated")
+def test_registry_million_devices(table_printer, tmp_path):
+    """The paper-scale claim: 1M devices, auth rounds, RSS < 2 GB."""
+    n_devices = int(os.environ.get("REG_BENCH_FULL_DEVICES", "1000000"))
+    registry, kept, enroll_s = provision_fleet(
+        tmp_path / "shards", n_devices, RESIDENT,
+        keep=range(0, n_devices, max(1, n_devices // AUTH_SAMPLE)))
+    try:
+        devices = [kept[i] for i in sorted(kept)][:AUTH_SAMPLE]
+        verifier = BatchVerifier(registry, seed=SEED)
+        start = time.perf_counter()
+        report = verifier.authenticate_fleet(devices)
+        round_s = time.perf_counter() - start
+        assert report.n_accepted == len(devices)
+        registry.backend.checkpoint()
+        _sample_rss()
+        peak = _peak_rss["mb"]
+        storage_mb = registry.storage_bytes / 1e6
+    finally:
+        registry.close()
+    table_printer(
+        f"REG-SCALE — full run ({n_devices} devices)",
+        ["measure", "value"],
+        [
+            ("enrollment", f"{enroll_s:.0f} s "
+                           f"({n_devices / enroll_s:.0f} devices/s)"),
+            ("verifier storage (disk)", f"{storage_mb:.0f} MB"),
+            (f"auth round ({AUTH_SAMPLE} devices)",
+             f"{round_s * 1e3:.0f} ms"),
+            ("peak RSS", f"{peak:.0f} MB (ceiling {RSS_CEILING_MB:.0f})"),
+        ],
+    )
+    _record(full_devices=n_devices, full_enroll_s=enroll_s,
+            full_storage_mb=storage_mb, full_round_s=round_s,
+            full_peak_rss_mb=peak)
+    assert peak < RSS_CEILING_MB, (
+        f"peak RSS {peak:.0f} MB breached the {RSS_CEILING_MB:.0f} MB "
+        f"ceiling at {n_devices} devices"
+    )

@@ -30,6 +30,7 @@ Building blocks
 
 from __future__ import annotations
 
+import bisect
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set
@@ -38,6 +39,7 @@ import numpy as np
 
 from repro.fleet.registry import FleetRegistry
 from repro.fleet.rounds import respond_round
+from repro.fleet.storage.base import adopt_scratch
 from repro.fleet.verifier import (
     AuthResponse,
     BatchAuthReport,
@@ -285,6 +287,13 @@ class FleetSimulator:
         self.devices: Dict[str, FleetDevice] = {
             device.device_id: device for device in devices
         }
+        # Incrementally-maintained sorted id list: campaign rounds and
+        # churn sampling need the fleet in sorted order every round, and
+        # re-sorting the whole fleet per round is O(n log n) x rounds.
+        # bisect keeps it O(log n) per enroll/revoke — and the order is
+        # byte-identical to sorted(self.devices), so every RNG-driven
+        # selection (churn victims) is unchanged.
+        self._sorted_ids: List[str] = sorted(self.devices)
         # Sharded execution: attach a multi-core executor to every
         # distinct stacked plane in the fleet, so campaign rounds run
         # one shard per worker through the pipelined scheduler.  Planes
@@ -339,6 +348,8 @@ class FleetSimulator:
         if device.current_response is None:
             device.provision(self.seed)
         self.registry.enroll(device, n_spot_crps=n_spot_crps, seed=self.seed)
+        if device.device_id not in self.devices:
+            bisect.insort(self._sorted_ids, device.device_id)
         self.devices[device.device_id] = device
         self.stats.enrolled += 1
 
@@ -346,7 +357,11 @@ class FleetSimulator:
         """Mid-campaign revocation: registry record and verifier state go."""
         self.registry.revoke(device_id)
         self.verifier.evict(device_id)
-        self.devices.pop(device_id, None)
+        if self.devices.pop(device_id, None) is not None:
+            position = bisect.bisect_left(self._sorted_ids, device_id)
+            if position < len(self._sorted_ids) \
+                    and self._sorted_ids[position] == device_id:
+                del self._sorted_ids[position]
         self.stats.revoked += 1
 
     def _churn(self, rng: np.random.Generator) -> None:
@@ -358,7 +373,7 @@ class FleetSimulator:
         if (faults.revoke_prob > 0.0
                 and len(self.devices) > faults.min_fleet_size
                 and rng.random() < faults.revoke_prob):
-            ids = sorted(self.devices)
+            ids = self._sorted_ids
             self.revoke_device(ids[int(rng.integers(len(ids)))])
 
     # -- lifecycle: rounds ------------------------------------------------
@@ -376,7 +391,7 @@ class FleetSimulator:
         self.stats.rounds += 1
         self._churn(rng)
         outcome = RoundOutcome(round_index=self._round_index)
-        todo = sorted(self.devices)
+        todo = list(self._sorted_ids)
         for attempt in range(self.faults.max_retries + 1):
             if not todo:
                 break
@@ -545,7 +560,11 @@ class FleetSimulator:
         verifier; affected devices recover by plain retry because neither
         side committed (two-phase commit).
         """
+        old_registry = self.registry
         self.registry = FleetRegistry.from_state(state)
+        adopt_scratch(old_registry.backend, self.registry.backend)
+        if old_registry.backend is not self.registry.backend:
+            old_registry.close()
         self.verifier = BatchVerifier.from_state(
             self.registry, state["manifest"]["verifier"]
         )

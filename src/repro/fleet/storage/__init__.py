@@ -1,0 +1,34 @@
+"""Pluggable registry storage backends.
+
+See :mod:`repro.fleet.storage.base` for the contract.  The fleet
+registry picks its backend via :func:`make_backend` (driven by
+``FleetConfig.registry_backend``): ``"memory"`` is the dict-backed
+reference, ``"sharded"`` pages a fleet of any size from append-only
+shard files with an LRU-bounded resident set.
+"""
+
+from repro.fleet.storage.base import (
+    BACKEND_NAMES,
+    DeviceRecord,
+    RegistryBackend,
+    make_backend,
+)
+from repro.fleet.storage.memory import (
+    MONOLITHIC_STATE_VERSION,
+    POINTER_STATE_VERSION,
+    STATE_FORMAT,
+    MemoryBackend,
+)
+from repro.fleet.storage.sharded import ShardedFileBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "DeviceRecord",
+    "MONOLITHIC_STATE_VERSION",
+    "POINTER_STATE_VERSION",
+    "STATE_FORMAT",
+    "MemoryBackend",
+    "RegistryBackend",
+    "ShardedFileBackend",
+    "make_backend",
+]

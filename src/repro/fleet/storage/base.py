@@ -1,0 +1,229 @@
+"""The registry storage contract: :class:`RegistryBackend`.
+
+:class:`~repro.fleet.registry.FleetRegistry` is a thin façade; every
+byte of verifier-side device state lives behind a backend implementing
+this protocol.  Two implementations ship:
+
+* :class:`~repro.fleet.storage.memory.MemoryBackend` — an in-process
+  dict, bit-for-bit the registry's historical behavior and the
+  reference every other backend is pinned against;
+* :class:`~repro.fleet.storage.sharded.ShardedFileBackend` — an
+  out-of-core store: device records hashed into append-only shard
+  files, CRP pools served as memory-mapped views (only touched rows
+  are faulted in), an LRU-bounded resident set, and write-ahead
+  roll/revoke journaling so a snapshot is an O(dirty) incremental
+  flush.
+
+The contract is deliberately *record-shaped*: backends store and serve
+:class:`~repro.fleet.registry.DeviceRecord` values, and the protocol
+mutators (:meth:`RegistryBackend.roll`,
+:meth:`RegistryBackend.burn_spot_indices`) mirror the only in-place
+mutations the registry performs, so a backend can journal them.  All
+other record fields are immutable after enrollment.
+
+Backends also maintain the registry's running ``storage_bytes`` total
+(updated on enroll/roll/revoke) so fleet-wide accounting never walks
+every record, and expose :meth:`RegistryBackend.transaction` — a
+group-commit scope batching journal writes for whole rounds (a no-op
+for the memory backend).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional
+
+import numpy as np
+
+#: Names accepted by :func:`make_backend` and
+#: ``FleetConfig.registry_backend``.
+BACKEND_NAMES = ("memory", "sharded")
+
+
+@dataclass
+class DeviceRecord:
+    """Verifier-side state for one enrolled device.
+
+    The value type every :class:`RegistryBackend` stores.  Lives here
+    (next to the storage contract) so backends need no import of the
+    registry façade; :mod:`repro.fleet.registry` re-exports it under
+    its historical name.
+    """
+
+    device_id: str
+    challenge_bits: int
+    current_response: np.ndarray
+    firmware_hash: bytes
+    expected_clock_count: int
+    crp_challenges: np.ndarray
+    crp_responses: np.ndarray
+    crp_used: np.ndarray
+    sessions: int = 0
+
+    @property
+    def spot_crps_left(self) -> int:
+        return int(np.count_nonzero(~self.crp_used))
+
+    @property
+    def storage_bytes(self) -> int:
+        """Rolling CRP + integrity reference + spot pool, in bytes."""
+        rolling = math.ceil(self.current_response.size / 8)
+        pool = math.ceil(self.crp_challenges.size / 8) + math.ceil(
+            self.crp_responses.size / 8
+        )
+        return rolling + len(self.firmware_hash) + pool
+
+
+class RegistryBackend(ABC):
+    """Storage contract behind :class:`~repro.fleet.registry.FleetRegistry`.
+
+    Keyed by ``device_id``; values are
+    :class:`~repro.fleet.registry.DeviceRecord`.  ``KeyError`` is the
+    uniform miss signal (the registry maps it onto its
+    ``not-enrolled`` :class:`AuthenticationFailure`); duplicate puts
+    raise ``ValueError``.  Iteration order is enrollment order for a
+    live backend and sorted order after a restore — identical across
+    implementations.
+    """
+
+    #: Short name used by :func:`make_backend` / config knobs.
+    name: str = "backend"
+
+    # -- storage ----------------------------------------------------------
+
+    @abstractmethod
+    def get(self, device_id: str) -> DeviceRecord:
+        """The record for ``device_id``; raises ``KeyError`` when absent."""
+
+    @abstractmethod
+    def put(self, record: DeviceRecord) -> None:
+        """Store a freshly-enrolled record; ``ValueError`` on duplicates."""
+
+    def put_many(self, records: Iterable[DeviceRecord]) -> None:
+        """Batch enrollment; backends override to coalesce writes."""
+        for record in records:
+            self.put(record)
+
+    @abstractmethod
+    def delete(self, device_id: str) -> DeviceRecord:
+        """Remove and return one record; raises ``KeyError`` when absent."""
+
+    @abstractmethod
+    def __contains__(self, device_id: str) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def iter_ids(self) -> Iterator[str]:
+        """Device ids, lazily (no fleet-sized list materialization)."""
+
+    def iter_records(self) -> Iterator[DeviceRecord]:
+        """Records, lazily; pages records in and out on an out-of-core
+        backend, so callers must not retain more than they consume."""
+        for device_id in self.iter_ids():
+            yield self.get(device_id)
+
+    # -- protocol mutations (journal points) ------------------------------
+
+    @abstractmethod
+    def roll(self, device_id: str, new_response: np.ndarray) -> None:
+        """Advance the rolling CRP: replace ``current_response``, bump
+        ``sessions``.  The only mutation the mutual-auth commit makes."""
+
+    @abstractmethod
+    def burn_spot_indices(self, device_id: str,
+                          indices: np.ndarray) -> None:
+        """Mark spot-pool entries used (anti-replay burn)."""
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def storage_bytes(self) -> int:
+        """Running fleet-wide total, maintained incrementally — never an
+        O(n) walk.  Pinned against a cold recount by the tests."""
+
+    # -- transactions -----------------------------------------------------
+
+    @contextmanager
+    def transaction(self):
+        """Group-commit scope: journal writes inside are batched.
+
+        Not a rollback mechanism — record mutations apply immediately
+        (matching the memory backend's in-place semantics); the scope
+        only coalesces durability work, e.g. one journal write per
+        authentication round instead of one per device.
+        """
+        yield self
+
+    # -- persistence ------------------------------------------------------
+
+    @abstractmethod
+    def to_state(self) -> dict:
+        """The registry's ``{"manifest": ..., "arrays": ...}`` capture.
+
+        The memory backend emits the historical monolithic form (every
+        array inline); an out-of-core backend flushes incrementally and
+        emits a *pointer* manifest referencing its on-disk shards.
+        """
+
+    def compact(self) -> None:
+        """Reclaim dead storage (revoked devices, superseded journal)."""
+
+    def close(self) -> None:
+        """Release file handles / scratch directories."""
+
+
+def adopt_scratch(old: RegistryBackend, new: RegistryBackend) -> None:
+    """Transfer scratch-directory ownership from ``old`` to ``new``.
+
+    When a pointer snapshot is restored *in the same process*, the new
+    backend re-attaches the very directory the old backend owns; if
+    that directory is an ephemeral scratch dir, closing the old backend
+    would delete the files under the new one.  Call this before closing
+    ``old`` — a no-op unless both backends share a root and ``old``
+    owns it as scratch.
+    """
+    old_scratch = getattr(old, "_tmpdir", None)
+    if old_scratch is not None \
+            and getattr(old, "root", None) == getattr(new, "root", None):
+        new._tmpdir = old_scratch
+        old._tmpdir = None
+
+
+def make_backend(name: str = "memory", *,
+                 root: Optional[str] = None,
+                 resident_records: Optional[int] = None,
+                 n_shards: Optional[int] = None) -> RegistryBackend:
+    """Build a backend from a config-level name plus storage knobs.
+
+    ``root``/``resident_records``/``n_shards`` parameterize the sharded
+    backend (a ``memory`` backend accepts none of them — passing one is
+    a configuration error, caught here rather than silently ignored).
+    """
+    if name == "memory":
+        if root is not None or resident_records is not None \
+                or n_shards is not None:
+            raise ValueError(
+                "the memory backend takes no storage knobs "
+                "(root/resident_records/n_shards are sharded-only)"
+            )
+        from repro.fleet.storage.memory import MemoryBackend
+
+        return MemoryBackend()
+    if name == "sharded":
+        from repro.fleet.storage.sharded import ShardedFileBackend
+
+        kwargs: Dict[str, object] = {}
+        if resident_records is not None:
+            kwargs["resident_records"] = resident_records
+        if n_shards is not None:
+            kwargs["n_shards"] = n_shards
+        return ShardedFileBackend(root, **kwargs)
+    raise ValueError(
+        f"unknown registry backend {name!r}; expected one of {BACKEND_NAMES}"
+    )

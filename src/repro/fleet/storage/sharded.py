@@ -1,0 +1,682 @@
+"""Out-of-core registry storage: sharded files, mmap paging, a WAL.
+
+:class:`ShardedFileBackend` holds a fleet's device records on disk so
+registry size is bounded by storage, not RAM — the path to the
+million-device fleet on a laptop:
+
+* **Sharding.**  Each device hashes (CRC-32 of its id) into one of
+  ``n_shards`` shards.  A shard owns three files: an append-only
+  ``pool-XXXX.bin`` holding the immutable spot-CRP pools, a fixed-slot
+  ``state-XXXX.bin`` holding the small mutable state (rolling response,
+  burn mask, session counter, firmware hash), and a ``meta-XXXX.npz``
+  manifest of the shard's record layout (written only when the shard's
+  *membership* changes — rolls never touch it).
+* **Lazy CRP-pool paging.**  Pools are served as zero-copy
+  ``numpy.frombuffer`` views over a per-shard ``mmap``; a spot check
+  that reads ``k`` pool rows faults in just those pages.  Pool bytes
+  are never resident unless touched.
+* **LRU-bounded resident set.**  Materialized records (the mutable
+  state plus pool views) live in a clean-record LRU capped at
+  ``resident_records``; records dirtied since the last snapshot are
+  pinned until flushed.  The in-memory index keeps only a compact
+  per-device layout entry (a few dozen bytes), never the arrays.
+* **Write-ahead journaling.**  Every enroll/roll/burn/revoke appends
+  one journal line *before* the next snapshot persists it, so
+  :meth:`ShardedFileBackend.to_state` is an O(dirty) incremental flush
+  — slot writes for rolled devices plus manifests for churned shards;
+  the pool bytes (the fleet's bulk) are written once at enrollment and
+  never again.  Reopening a crashed backend replays the journal
+  (``replay_journal=True``); restoring a snapshot truncates it.
+
+The emitted state is a *pointer* manifest (``version 2``) referencing
+the shard directory plus a generation stamp; restoring checks the
+generation so a stale pointer can never silently read newer state.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import tempfile
+import zlib
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+import numpy as np
+
+from repro.fleet.storage.base import DeviceRecord, RegistryBackend
+from repro.fleet.storage.memory import POINTER_STATE_VERSION, STATE_FORMAT
+
+#: ``backend.json`` format stamp.
+DIR_FORMAT = "fleet-registry-shards"
+DIR_SCHEMA = 1
+
+_SESSIONS_BYTES = 8
+
+
+class _Entry:
+    """Compact always-resident layout of one device (no arrays)."""
+
+    __slots__ = ("shard", "pool_off", "n_pool", "challenge_bits",
+                 "response_bits", "expected_clock_count", "fw_len",
+                 "state_off", "record", "dirty")
+
+    def __init__(self, shard: int, pool_off: int, n_pool: int,
+                 challenge_bits: int, response_bits: int,
+                 expected_clock_count: int, fw_len: int, state_off: int):
+        self.shard = shard
+        self.pool_off = pool_off
+        self.n_pool = n_pool
+        self.challenge_bits = challenge_bits
+        self.response_bits = response_bits
+        self.expected_clock_count = expected_clock_count
+        self.fw_len = fw_len
+        self.state_off = state_off
+        self.record: Optional[DeviceRecord] = None
+        self.dirty = False
+
+    @property
+    def slot_len(self) -> int:
+        return (self.response_bits + self.n_pool + _SESSIONS_BYTES
+                + self.fw_len)
+
+    @property
+    def pool_len(self) -> int:
+        return self.n_pool * (self.challenge_bits + self.response_bits)
+
+    @property
+    def storage_bytes(self) -> int:
+        rolling = -(-self.response_bits // 8)
+        pool = (-(-self.n_pool * self.challenge_bits // 8)
+                + -(-self.n_pool * self.response_bits // 8))
+        return rolling + self.fw_len + pool
+
+
+def _shard_of(device_id: str, n_shards: int) -> int:
+    return zlib.crc32(device_id.encode()) % n_shards
+
+
+class ShardedFileBackend(RegistryBackend):
+    """Append-only sharded files + mmap paging + WAL journaling.
+
+    ``root=None`` uses an ephemeral scratch directory (removed when the
+    backend is garbage-collected / closed); pass a path for durable
+    storage.  Opening a ``root`` that already holds a shard directory
+    resumes it — replaying the journal by default, so an unclean
+    shutdown loses nothing that reached the WAL.
+    """
+
+    name = "sharded"
+
+    def __init__(self, root: Optional[str] = None, *,
+                 n_shards: int = 64, resident_records: int = 65536,
+                 replay_journal: bool = True):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if resident_records < 1:
+            raise ValueError(
+                f"resident_records must be >= 1, got {resident_records}"
+            )
+        self._tmpdir = None
+        if root is None:
+            self._tmpdir = tempfile.TemporaryDirectory(
+                prefix="repro-registry-")
+            root = self._tmpdir.name
+        self.root = str(root)
+        self._resident_records = int(resident_records)
+        self._index: Dict[str, _Entry] = {}
+        self._members: List[Dict[str, None]] = []   # per-shard ordered ids
+        self._resident: Dict[str, None] = {}        # clean-record LRU
+        self._dirty: Dict[str, None] = {}           # pinned until snapshot
+        self._dirty_shards: Set[int] = set()        # membership changed
+        self._storage_bytes = 0
+        self._txn_depth = 0
+        self._txn_buffer: List[str] = []
+        self._pool_maps: List[Optional[mmap.mmap]] = []
+        self.stats = {"faults": 0, "evictions": 0, "wal_records": 0,
+                      "checkpoints": 0}
+        existing = os.path.exists(self._dir_manifest_path())
+        if existing:
+            self._open_existing(replay_journal=replay_journal)
+        else:
+            self._create_fresh(n_shards)
+
+    # -- directory layout --------------------------------------------------
+
+    def _dir_manifest_path(self) -> str:
+        return os.path.join(self.root, "backend.json")
+
+    def _wal_path(self) -> str:
+        return os.path.join(self.root, "wal.log")
+
+    def _shard_path(self, kind: str, shard: int, ext: str = "bin") -> str:
+        return os.path.join(self.root, "shards", f"{kind}-{shard:04d}.{ext}")
+
+    def _create_fresh(self, n_shards: int) -> None:
+        os.makedirs(os.path.join(self.root, "shards"), exist_ok=True)
+        self.n_shards = int(n_shards)
+        self.generation = 0
+        self._open_files()
+        self._members = [dict() for _ in range(self.n_shards)]
+        self._write_dir_manifest()
+
+    def _open_existing(self, replay_journal: bool) -> None:
+        with open(self._dir_manifest_path()) as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != DIR_FORMAT:
+            raise ValueError(
+                f"{self.root!r} is not a registry shard directory "
+                f"(format {manifest.get('format')!r})"
+            )
+        if int(manifest.get("schema", -1)) != DIR_SCHEMA:
+            raise ValueError(
+                f"{self.root!r} uses shard schema "
+                f"{manifest.get('schema')!r}; this build reads "
+                f"{DIR_SCHEMA} only"
+            )
+        self.n_shards = int(manifest["n_shards"])
+        self.generation = int(manifest["generation"])
+        self._open_files()
+        self._members = [dict() for _ in range(self.n_shards)]
+        self._load_shard_manifests()
+        if replay_journal:
+            self._replay_wal()
+        else:
+            os.ftruncate(self._wal_fd, 0)
+            self._wal_end = 0
+
+    def _open_files(self) -> None:
+        flags = os.O_RDWR | os.O_CREAT
+        self._pool_fds, self._state_fds = [], []
+        self._pool_end, self._state_end = [], []
+        for shard in range(self.n_shards):
+            pool_fd = os.open(self._shard_path("pool", shard), flags, 0o644)
+            state_fd = os.open(self._shard_path("state", shard), flags, 0o644)
+            self._pool_fds.append(pool_fd)
+            self._state_fds.append(state_fd)
+            self._pool_end.append(os.fstat(pool_fd).st_size)
+            self._state_end.append(os.fstat(state_fd).st_size)
+        self._pool_maps = [None] * self.n_shards
+        self._wal_fd = os.open(self._wal_path(), flags, 0o644)
+        self._wal_end = os.fstat(self._wal_fd).st_size
+
+    def _write_dir_manifest(self) -> None:
+        payload = {"format": DIR_FORMAT, "schema": DIR_SCHEMA,
+                   "n_shards": self.n_shards,
+                   "generation": self.generation,
+                   "n_devices": len(self._index)}
+        with open(self._dir_manifest_path(), "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # -- shard manifests ---------------------------------------------------
+
+    _META_FIELDS = ("pool_off", "n_pool", "challenge_bits", "response_bits",
+                    "expected_clock_count", "fw_len", "state_off")
+
+    def _write_shard_manifest(self, shard: int) -> None:
+        ids = list(self._members[shard])
+        columns = {field: np.array(
+            [getattr(self._index[i], field) for i in ids], dtype=np.int64)
+            for field in self._META_FIELDS}
+        np.savez(self._shard_path("meta", shard, ext="npz"),
+                 ids=np.array(ids) if ids else np.array([], dtype="U1"),
+                 **columns)
+
+    def _load_shard_manifests(self) -> None:
+        entries: List[tuple] = []
+        for shard in range(self.n_shards):
+            path = self._shard_path("meta", shard, ext="npz")
+            if not os.path.exists(path):
+                continue
+            with np.load(path) as archive:
+                ids = [str(device_id) for device_id in archive["ids"]]
+                columns = {field: archive[field]
+                           for field in self._META_FIELDS}
+            for row, device_id in enumerate(ids):
+                entries.append((device_id, _Entry(
+                    shard, *(int(columns[field][row])
+                             for field in self._META_FIELDS))))
+        # Sorted insertion: a restored registry iterates in sorted id
+        # order on every backend (the monolithic manifest is written
+        # sorted too), so iteration order never depends on the store.
+        for device_id, entry in sorted(entries):
+            self._index[device_id] = entry
+            self._members[entry.shard][device_id] = None
+            self._storage_bytes += entry.storage_bytes
+
+    # -- WAL ---------------------------------------------------------------
+
+    def _wal_append(self, op: dict) -> None:
+        line = json.dumps(op, sort_keys=True) + "\n"
+        self.stats["wal_records"] += 1
+        if self._txn_depth > 0:
+            self._txn_buffer.append(line)
+            return
+        self._wal_write(line)
+
+    def _wal_write(self, text: str) -> None:
+        data = text.encode()
+        os.pwrite(self._wal_fd, data, self._wal_end)
+        self._wal_end += len(data)
+
+    @contextmanager
+    def transaction(self):
+        self._txn_depth += 1
+        try:
+            yield self
+        finally:
+            self._txn_depth -= 1
+            if self._txn_depth == 0 and self._txn_buffer:
+                buffered, self._txn_buffer = self._txn_buffer, []
+                self._wal_write("".join(buffered))
+
+    def _replay_wal(self) -> None:
+        with open(self._wal_path(), "rb") as handle:
+            raw = handle.read()
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            op = json.loads(line)
+            kind = op["op"]
+            device_id = op["id"]
+            if kind == "enroll":
+                entry = _Entry(op["shard"], op["pool_off"], op["n_pool"],
+                               op["cb"], op["rb"], op["cc"], op["fw_len"],
+                               op["state_off"])
+                self._index[device_id] = entry
+                self._members[entry.shard][device_id] = None
+                self._dirty_shards.add(entry.shard)
+                self._storage_bytes += entry.storage_bytes
+            elif kind == "roll":
+                record = self._materialize(device_id)
+                record.current_response = np.frombuffer(
+                    bytes.fromhex(op["resp"]), dtype=np.uint8).copy()
+                record.sessions = int(op["sessions"])
+                self._mark_dirty(device_id)
+            elif kind == "burn":
+                record = self._materialize(device_id)
+                record.crp_used[np.asarray(op["idx"], dtype=np.intp)] = True
+                self._mark_dirty(device_id)
+            elif kind == "revoke":
+                entry = self._index.pop(device_id)
+                self._members[entry.shard].pop(device_id, None)
+                self._dirty_shards.add(entry.shard)
+                self._storage_bytes -= entry.storage_bytes
+                self._resident.pop(device_id, None)
+                self._dirty.pop(device_id, None)
+            else:  # pragma: no cover - forward-compat guard
+                raise ValueError(f"unknown WAL op {kind!r}")
+
+    # -- paging ------------------------------------------------------------
+
+    def _pool_view(self, shard: int, end: int) -> mmap.mmap:
+        current = self._pool_maps[shard]
+        if current is None or current.size() < end:
+            # The superseded map stays alive as long as any served pool
+            # view references it (numpy holds the buffer); dropping the
+            # reference lets the GC unmap it once the views die.
+            self._pool_maps[shard] = mmap.mmap(
+                self._pool_fds[shard], self._pool_end[shard],
+                access=mmap.ACCESS_READ,
+            )
+        return self._pool_maps[shard]
+
+    def _materialize(self, device_id: str) -> DeviceRecord:
+        entry = self._index[device_id]
+        if entry.record is not None:
+            if not entry.dirty:
+                self._resident[device_id] = self._resident.pop(
+                    device_id, None)  # LRU touch
+            return entry.record
+        self.stats["faults"] += 1
+        slot = os.pread(self._state_fds[entry.shard], entry.slot_len,
+                        entry.state_off)
+        if len(slot) != entry.slot_len:  # pragma: no cover - corruption
+            raise ValueError(
+                f"truncated state slot for device {device_id!r}"
+            )
+        rb, n_pool = entry.response_bits, entry.n_pool
+        response = np.frombuffer(slot[:rb], dtype=np.uint8).copy()
+        used = np.frombuffer(slot[rb:rb + n_pool], dtype=np.uint8) != 0
+        sessions = int.from_bytes(
+            slot[rb + n_pool:rb + n_pool + _SESSIONS_BYTES], "big")
+        firmware = bytes(slot[rb + n_pool + _SESSIONS_BYTES:])
+        if n_pool:
+            view = self._pool_view(entry.shard,
+                                   entry.pool_off + entry.pool_len)
+            challenge_len = n_pool * entry.challenge_bits
+            challenges = np.frombuffer(
+                view, dtype=np.uint8, count=challenge_len,
+                offset=entry.pool_off,
+            ).reshape(n_pool, entry.challenge_bits)
+            responses = np.frombuffer(
+                view, dtype=np.uint8, count=n_pool * rb,
+                offset=entry.pool_off + challenge_len,
+            ).reshape(n_pool, rb)
+        else:
+            challenges = np.zeros((0, entry.challenge_bits), dtype=np.uint8)
+            responses = np.zeros((0, rb), dtype=np.uint8)
+        entry.record = DeviceRecord(
+            device_id=device_id,
+            challenge_bits=entry.challenge_bits,
+            current_response=response,
+            firmware_hash=firmware,
+            expected_clock_count=entry.expected_clock_count,
+            crp_challenges=challenges,
+            crp_responses=responses,
+            crp_used=used,
+            sessions=sessions,
+        )
+        self._resident[device_id] = None
+        self._evict_excess()
+        return entry.record
+
+    @property
+    def resident_records(self) -> int:
+        """Resident-set cap; shrinking it evicts clean records at once."""
+        return self._resident_records
+
+    @resident_records.setter
+    def resident_records(self, value: int) -> None:
+        value = int(value)
+        if value < 1:
+            raise ValueError(f"resident_records must be >= 1, got {value}")
+        self._resident_records = value
+        self._evict_excess()
+
+    def _evict_excess(self) -> None:
+        while len(self._resident) > self._resident_records:
+            evicted = next(iter(self._resident))
+            del self._resident[evicted]
+            self._index[evicted].record = None
+            self.stats["evictions"] += 1
+
+    def _mark_dirty(self, device_id: str) -> None:
+        entry = self._index[device_id]
+        entry.dirty = True
+        self._resident.pop(device_id, None)
+        self._dirty[device_id] = None
+
+    def _slot_bytes(self, entry: _Entry, record: DeviceRecord) -> bytes:
+        return (np.ascontiguousarray(record.current_response,
+                                     dtype=np.uint8).tobytes()
+                + np.ascontiguousarray(record.crp_used,
+                                       dtype=np.uint8).tobytes()
+                + int(record.sessions).to_bytes(_SESSIONS_BYTES, "big")
+                + bytes(record.firmware_hash))
+
+    # -- storage -----------------------------------------------------------
+
+    def get(self, device_id: str) -> DeviceRecord:
+        if device_id not in self._index:
+            raise KeyError(device_id)
+        return self._materialize(device_id)
+
+    def _stage_put(self, record: DeviceRecord,
+                   pool_chunks: Dict[int, List[bytes]],
+                   state_chunks: Dict[int, List[bytes]]) -> None:
+        device_id = record.device_id
+        if device_id in self._index:
+            raise ValueError(f"device {device_id!r} already enrolled")
+        shard = _shard_of(device_id, self.n_shards)
+        challenges = np.ascontiguousarray(record.crp_challenges,
+                                          dtype=np.uint8)
+        responses = np.ascontiguousarray(record.crp_responses,
+                                         dtype=np.uint8)
+        entry = _Entry(
+            shard, self._pool_end[shard], int(challenges.shape[0]),
+            int(record.challenge_bits), int(record.current_response.size),
+            int(record.expected_clock_count), len(record.firmware_hash),
+            self._state_end[shard],
+        )
+        if entry.n_pool:
+            blob = challenges.tobytes() + responses.tobytes()
+            pool_chunks.setdefault(shard, []).append(blob)
+            self._pool_end[shard] += len(blob)
+        slot = self._slot_bytes(entry, record)
+        state_chunks.setdefault(shard, []).append(slot)
+        self._state_end[shard] += len(slot)
+        self._index[device_id] = entry
+        self._members[shard][device_id] = None
+        self._dirty_shards.add(shard)
+        self._storage_bytes += entry.storage_bytes
+        self._wal_append({"op": "enroll", "id": device_id, "shard": shard,
+                          "pool_off": entry.pool_off,
+                          "n_pool": entry.n_pool,
+                          "cb": entry.challenge_bits,
+                          "rb": entry.response_bits,
+                          "cc": entry.expected_clock_count,
+                          "fw_len": entry.fw_len,
+                          "state_off": entry.state_off})
+        # Serve the caller's record object while it stays resident; the
+        # slab copy just written makes it evictable immediately.
+        entry.record = record
+        self._resident[device_id] = None
+
+    def _flush_chunks(self, pool_chunks: Dict[int, List[bytes]],
+                      state_chunks: Dict[int, List[bytes]]) -> None:
+        for shard, blobs in pool_chunks.items():
+            blob = b"".join(blobs)
+            os.pwrite(self._pool_fds[shard], blob,
+                      self._pool_end[shard] - len(blob))
+        for shard, blobs in state_chunks.items():
+            blob = b"".join(blobs)
+            os.pwrite(self._state_fds[shard], blob,
+                      self._state_end[shard] - len(blob))
+
+    def put(self, record: DeviceRecord) -> None:
+        pool_chunks: Dict[int, List[bytes]] = {}
+        state_chunks: Dict[int, List[bytes]] = {}
+        self._stage_put(record, pool_chunks, state_chunks)
+        self._flush_chunks(pool_chunks, state_chunks)
+        self._evict_excess()
+
+    def put_many(self, records: Iterable[DeviceRecord]) -> None:
+        """Batch enrollment: one pool + one state write per shard."""
+        pool_chunks: Dict[int, List[bytes]] = {}
+        state_chunks: Dict[int, List[bytes]] = {}
+        with self.transaction():
+            for record in records:
+                self._stage_put(record, pool_chunks, state_chunks)
+        self._flush_chunks(pool_chunks, state_chunks)
+        self._evict_excess()
+
+    def delete(self, device_id: str) -> DeviceRecord:
+        record = self.get(device_id)
+        entry = self._index.pop(device_id)
+        self._members[entry.shard].pop(device_id, None)
+        self._dirty_shards.add(entry.shard)
+        self._storage_bytes -= entry.storage_bytes
+        self._resident.pop(device_id, None)
+        self._dirty.pop(device_id, None)
+        self._wal_append({"op": "revoke", "id": device_id})
+        return record
+
+    def __contains__(self, device_id: str) -> bool:
+        return device_id in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def iter_ids(self) -> Iterator[str]:
+        return iter(self._index)
+
+    # -- protocol mutations ------------------------------------------------
+
+    def roll(self, device_id: str, new_response: np.ndarray) -> None:
+        record = self._materialize(device_id)
+        new_response = np.asarray(new_response, dtype=np.uint8)
+        if new_response.size != self._index[device_id].response_bits:
+            raise ValueError(
+                f"rolled response holds {new_response.size} bits; device "
+                f"{device_id!r} enrolled with "
+                f"{self._index[device_id].response_bits} (fixed-slot "
+                "storage cannot resize a rolling CRP)"
+            )
+        record.current_response = new_response
+        record.sessions += 1
+        self._mark_dirty(device_id)
+        self._wal_append({"op": "roll", "id": device_id,
+                          "resp": new_response.tobytes().hex(),
+                          "sessions": int(record.sessions)})
+
+    def burn_spot_indices(self, device_id: str,
+                          indices: np.ndarray) -> None:
+        record = self._materialize(device_id)
+        record.crp_used[indices] = True
+        self._mark_dirty(device_id)
+        self._wal_append({"op": "burn", "id": device_id,
+                          "idx": [int(i) for i in np.asarray(indices)]})
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def storage_bytes(self) -> int:
+        return self._storage_bytes
+
+    @property
+    def resident_count(self) -> int:
+        """Materialized records currently held in memory."""
+        return len(self._resident) + len(self._dirty)
+
+    # -- persistence -------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Incremental flush: dirty slots + churned shard manifests.
+
+        O(records dirtied since the last checkpoint) slot writes plus
+        one manifest rewrite per shard whose membership changed — pool
+        bytes are never rewritten.  Truncates the journal and bumps the
+        generation; a no-op (same generation) when nothing changed.
+        """
+        if not (self._dirty or self._dirty_shards or self._wal_end
+                or self._txn_buffer):
+            return self.generation
+        for device_id in self._dirty:
+            entry = self._index[device_id]
+            os.pwrite(self._state_fds[entry.shard],
+                      self._slot_bytes(entry, entry.record),
+                      entry.state_off)
+            entry.dirty = False
+            self._resident[device_id] = None
+        self._dirty.clear()
+        for shard in sorted(self._dirty_shards):
+            self._write_shard_manifest(shard)
+        self._dirty_shards.clear()
+        self._txn_buffer.clear()
+        os.ftruncate(self._wal_fd, 0)
+        self._wal_end = 0
+        self.generation += 1
+        self._write_dir_manifest()
+        self.stats["checkpoints"] += 1
+        self._evict_excess()
+        return self.generation
+
+    def pointer_state(self) -> dict:
+        """The lightweight manifest referencing this backend's shards."""
+        return {
+            "manifest": {
+                "format": STATE_FORMAT,
+                "version": POINTER_STATE_VERSION,
+                "storage": {"backend": self.name, "root": self.root,
+                            "generation": self.generation,
+                            "n_shards": self.n_shards,
+                            "n_devices": len(self._index)},
+            },
+            "arrays": {},
+        }
+
+    def to_state(self) -> dict:
+        self.checkpoint()
+        return self.pointer_state()
+
+    @classmethod
+    def attach(cls, root: str, *, generation: Optional[int] = None,
+               resident_records: int = 65536) -> "ShardedFileBackend":
+        """Reopen a shard directory at its last snapshot.
+
+        Post-snapshot journal entries are *discarded* (that is what
+        restoring a snapshot means); pass the directory to the
+        constructor instead to resume with journal replay.  With
+        ``generation`` given, refuses to attach when the directory has
+        snapshotted past it — a stale pointer must fail loudly, never
+        silently read newer state.
+        """
+        backend = cls(root, resident_records=resident_records,
+                      replay_journal=False)
+        if generation is not None and backend.generation != int(generation):
+            backend.close()
+            raise ValueError(
+                f"snapshot generation {generation} is superseded: "
+                f"{root!r} is at generation {backend.generation} "
+                "(each checkpoint invalidates earlier pointer states; "
+                "save full archives for long-lived copies)"
+            )
+        return backend
+
+    def compact(self) -> None:
+        """Rewrite shard files dropping dead bytes (revoked devices,
+        orphaned post-snapshot appends), then checkpoint."""
+        self.checkpoint()
+        for shard in range(self.n_shards):
+            pool_parts: List[bytes] = []
+            state_parts: List[bytes] = []
+            pool_off = state_off = 0
+            for device_id in self._members[shard]:
+                entry = self._index[device_id]
+                if entry.n_pool:
+                    view = self._pool_view(
+                        shard, entry.pool_off + entry.pool_len)
+                    pool_parts.append(
+                        view[entry.pool_off:entry.pool_off + entry.pool_len])
+                slot = os.pread(self._state_fds[shard], entry.slot_len,
+                                entry.state_off)
+                state_parts.append(slot)
+                entry.pool_off, entry.state_off = pool_off, state_off
+                entry.record = None
+                pool_off += entry.pool_len if entry.n_pool else 0
+                state_off += entry.slot_len
+            for kind, parts, fds, ends in (
+                ("pool", pool_parts, self._pool_fds, self._pool_end),
+                ("state", state_parts, self._state_fds, self._state_end),
+            ):
+                path = self._shard_path(kind, shard)
+                scratch = path + ".compact"
+                with open(scratch, "wb") as handle:
+                    handle.write(b"".join(parts))
+                os.replace(scratch, path)
+                os.close(fds[shard])
+                fds[shard] = os.open(path, os.O_RDWR)
+                ends[shard] = os.fstat(fds[shard]).st_size
+            self._pool_maps[shard] = None
+            self._write_shard_manifest(shard)
+        self._resident.clear()
+        self.generation += 1
+        self._write_dir_manifest()
+
+    def __del__(self):  # pragma: no cover - GC-timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        for fd in getattr(self, "_pool_fds", []):
+            os.close(fd)
+        for fd in getattr(self, "_state_fds", []):
+            os.close(fd)
+        if getattr(self, "_wal_fd", None) is not None:
+            os.close(self._wal_fd)
+        self._pool_fds, self._state_fds, self._wal_fd = [], [], None
+        for position, pool_map in enumerate(self._pool_maps):
+            if pool_map is not None:
+                try:
+                    pool_map.close()
+                except BufferError:  # served views still alive
+                    pass
+                self._pool_maps[position] = None
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None

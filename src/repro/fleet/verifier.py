@@ -567,22 +567,26 @@ class BatchVerifier:
         for __, messages in respond_round_staged(devices, nonces):
             self._verify_round_into(report, messages, nonces,
                                     seen_this_round)
-        for device in devices:
-            confirmation = report.confirmations.get(device.device_id)
-            if confirmation is None:
-                continue
-            try:
-                device.confirm(confirmation, nonces[device.device_id])
-            except AuthenticationFailure as failure:
-                report.record_failure(
-                    device.device_id,
-                    AuthenticationFailure(f"confirmation: {failure}",
-                                          failure.kind),
-                )
-                del report.confirmations[device.device_id]
-                self.abort(device.device_id)
-                continue
-            self.finalize(device.device_id)
+        # One backend transaction for the whole commit sweep: on a
+        # journaling backend the round's rolls group-commit as a single
+        # write instead of one per device.
+        with self.registry.transaction():
+            for device in devices:
+                confirmation = report.confirmations.get(device.device_id)
+                if confirmation is None:
+                    continue
+                try:
+                    device.confirm(confirmation, nonces[device.device_id])
+                except AuthenticationFailure as failure:
+                    report.record_failure(
+                        device.device_id,
+                        AuthenticationFailure(f"confirmation: {failure}",
+                                              failure.kind),
+                    )
+                    del report.confirmations[device.device_id]
+                    self.abort(device.device_id)
+                    continue
+                self.finalize(device.device_id)
         return report
 
     def spot_check(self, devices: Sequence[FleetDevice], k: int = 8,
@@ -600,15 +604,19 @@ class BatchVerifier:
         # Draw every device's burn indices first (one shared RNG stream,
         # in fleet order), then harvest: plane-attached devices answer
         # their k challenges as rows of one stacked pass per plane.
+        # The draws run in one backend transaction so the burn journal
+        # group-commits per sweep, not per device.
         challenge_rows: List[np.ndarray] = []
         expected_rows: List[np.ndarray] = []
         ids: List[str] = []
-        for device in devices:
-            record = self.registry.record(device.device_id)
-            indices = self.registry.draw_spot_indices(device.device_id, k, rng)
-            challenge_rows.append(record.crp_challenges[indices])
-            expected_rows.append(record.crp_responses[indices])
-            ids.append(device.device_id)
+        with self.registry.transaction():
+            for device in devices:
+                record = self.registry.record(device.device_id)
+                indices = self.registry.draw_spot_indices(
+                    device.device_id, k, rng)
+                challenge_rows.append(record.crp_challenges[indices])
+                expected_rows.append(record.crp_responses[indices])
+                ids.append(device.device_id)
         fresh_rows: List[Optional[np.ndarray]] = [None] * len(devices)
         groups: Dict[int, List[int]] = {}
         planes: Dict[int, object] = {}

@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional
 
 from repro.fleet.lifecycle import FaultModel
+from repro.fleet.storage import BACKEND_NAMES, RegistryBackend, make_backend
 
 CONFIG_FORMAT = "service-fleet-config"
 CONFIG_VERSION = 1
@@ -77,6 +78,13 @@ class FleetConfig:
     request coalescer; ``fault_model`` seeds lifecycle simulation
     (:meth:`repro.service.AuthService.simulator`); ``snapshot_path`` is
     the default target of :meth:`repro.service.AuthService.save`.
+
+    ``registry_backend`` selects the enrollment registry's storage
+    (see :mod:`repro.fleet.storage`): ``"memory"`` (default) keeps the
+    fleet in-process, ``"sharded"`` pages it from append-only shard
+    files so registry size is disk-bound, with ``storage_root`` naming
+    the shard directory (a scratch directory when None) and
+    ``resident_records`` capping the materialized-record LRU.
     """
 
     n_devices: int
@@ -88,6 +96,9 @@ class FleetConfig:
     max_batch: int = 256
     fault_model: Optional[FaultModel] = None
     snapshot_path: Optional[str] = None
+    registry_backend: str = "memory"
+    storage_root: Optional[str] = None
+    resident_records: Optional[int] = None
     puf: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -111,6 +122,25 @@ class FleetConfig:
         if self.fault_model is not None and not isinstance(self.fault_model,
                                                            FaultModel):
             raise TypeError("fault_model must be a FaultModel or None")
+        if self.registry_backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"registry_backend must be one of {BACKEND_NAMES}, got "
+                f"{self.registry_backend!r}"
+            )
+        if self.registry_backend == "memory":
+            if self.storage_root is not None:
+                raise ValueError(
+                    "storage_root requires registry_backend='sharded'"
+                )
+            if self.resident_records is not None:
+                raise ValueError(
+                    "resident_records requires registry_backend='sharded'"
+                )
+        if self.resident_records is not None \
+                and int(self.resident_records) < 1:
+            raise ValueError(
+                f"resident_records must be >= 1, got {self.resident_records}"
+            )
         if not all(isinstance(key, str) for key in self.puf):
             raise TypeError("puf design knobs must be keyed by name")
         # Freeze a private copy: the config must not alias a caller dict
@@ -120,6 +150,14 @@ class FleetConfig:
     def with_engine(self, **changes: Any) -> "FleetConfig":
         """A copy with engine knobs replaced (config stays frozen)."""
         return replace(self, engine=replace(self.engine, **changes))
+
+    def make_registry_backend(self) -> RegistryBackend:
+        """Build the registry storage backend this config describes."""
+        return make_backend(
+            self.registry_backend,
+            root=self.storage_root,
+            resident_records=self.resident_records,
+        )
 
     def to_state(self) -> Dict[str, Any]:
         """JSON-serializable capture; inverse of :meth:`from_state`."""
@@ -136,6 +174,10 @@ class FleetConfig:
             "fault_model": (None if self.fault_model is None
                             else asdict(self.fault_model)),
             "snapshot_path": self.snapshot_path,
+            "registry_backend": self.registry_backend,
+            "storage_root": self.storage_root,
+            "resident_records": (None if self.resident_records is None
+                                 else int(self.resident_records)),
             "puf": dict(self.puf),
         }
 
@@ -161,5 +203,8 @@ class FleetConfig:
             fault_model=(None if fault_state is None
                          else FaultModel(**fault_state)),
             snapshot_path=state.get("snapshot_path"),
+            registry_backend=state.get("registry_backend", "memory"),
+            storage_root=state.get("storage_root"),
+            resident_records=state.get("resident_records"),
             puf=dict(state.get("puf", {})),
         )

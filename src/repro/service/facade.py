@@ -40,6 +40,9 @@ import numpy as np
 
 from repro.fleet.lifecycle import Adversary, FaultModel, FleetSimulator
 from repro.fleet.registry import FleetRegistry
+from repro.fleet.storage import make_backend
+from repro.fleet.storage.base import adopt_scratch
+from repro.fleet.storage.memory import MONOLITHIC_STATE_VERSION
 from repro.fleet.verifier import (
     AuthResponse,
     BatchAuthReport,
@@ -149,7 +152,7 @@ class AuthService:
         """
         family = photonic_strong_family(config.n_devices, seed=config.seed,
                                         **config.puf)
-        registry = FleetRegistry()
+        registry = FleetRegistry(config.make_registry_backend())
         plane = family.stack() if config.engine.stacked else None
         if plane is not None and config.engine.shard_workers is not None:
             plane.shard(n_workers=config.engine.shard_workers)
@@ -424,19 +427,53 @@ class AuthService:
         holds stays absent from rounds: physical devices cannot be
         conjured from state — rebuild the service around the hardware,
         as :meth:`load` does, to bring it back.)
+
+        A pointer snapshot (out-of-core registry) re-attaches its shard
+        directory at the snapshotted generation — post-snapshot rolls
+        and burns are discarded, exactly like the monolithic capture.
         """
-        self.registry = FleetRegistry.from_state(state)
+        config = (FleetConfig.from_state(state["manifest"]["config"])
+                  if "config" in state["manifest"] else self.config)
+        old_registry = self.registry
+        self.registry = FleetRegistry.from_state(
+            state,
+            backend=self._registry_target_backend(state["manifest"], config),
+        )
+        adopt_scratch(old_registry.backend, self.registry.backend)
+        if old_registry.backend is not self.registry.backend:
+            old_registry.close()
+        # A pointer re-attach starts from backend defaults; the resident
+        # cap is config-level state, so carry it forward.
+        if config.resident_records is not None \
+                and hasattr(self.registry.backend, "resident_records"):
+            self.registry.backend.resident_records = \
+                int(config.resident_records)
         self.verifier = BatchVerifier.from_state(
             self.registry, state["manifest"]["verifier"]
         )
-        if "config" in state["manifest"]:
-            self.config = FleetConfig.from_state(state["manifest"]["config"])
+        self.config = config
         self._devices = {
             device_id: device
             for device_id, device in self._devices.items()
             if device_id in self.registry
         }
         self.coalescer = self._build_coalescer()
+
+    @staticmethod
+    def _registry_target_backend(manifest: dict, config: FleetConfig):
+        """The backend a *monolithic* registry state loads into.
+
+        Honors ``config.registry_backend`` so a legacy archive restores
+        straight into out-of-core storage; always a scratch root (never
+        ``config.storage_root`` — the named directory may already hold
+        the live fleet's shards).  Pointer states re-attach their own
+        directory, so they take no target (None).
+        """
+        if manifest.get("version") != MONOLITHIC_STATE_VERSION \
+                or config.registry_backend == "memory":
+            return None
+        return make_backend(config.registry_backend,
+                            resident_records=config.resident_records)
 
     def save(self, path: Optional[str] = None) -> str:
         """Persist :meth:`snapshot` as one ``.npz`` archive."""
@@ -455,11 +492,16 @@ class AuthService:
         """Rebuild a service from :meth:`save` around the physical devices."""
         manifest, arrays = load_state(path)
         state = {"manifest": manifest, "arrays": arrays}
-        registry = FleetRegistry.from_state(state)
-        verifier = BatchVerifier.from_state(registry, manifest["verifier"])
         config = (FleetConfig.from_state(manifest["config"])
-                  if "config" in manifest
-                  else FleetConfig(n_devices=max(1, len(registry))))
+                  if "config" in manifest else None)
+        registry = FleetRegistry.from_state(
+            state,
+            backend=(cls._registry_target_backend(manifest, config)
+                     if config is not None else None),
+        )
+        verifier = BatchVerifier.from_state(registry, manifest["verifier"])
+        if config is None:
+            config = FleetConfig(n_devices=max(1, len(registry)))
         return cls(registry, devices, verifier, config=config,
                    policies=policies, clock=clock)
 
@@ -480,9 +522,10 @@ class AuthService:
                                            adversaries=adversaries, **kwargs)
 
     def close(self) -> None:
-        """Shut down the sharded executor of the plane this service owns."""
+        """Shut down the owned plane's executor and the registry backend."""
         if self._owned_plane is not None:
             self._owned_plane.close_executor()
+        self.registry.close()
 
     def __enter__(self) -> "AuthService":
         return self

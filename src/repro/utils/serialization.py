@@ -33,8 +33,17 @@ SCHEMA_VERSION_KEY = "schema_version"
 #: new code can no longer be read by the old rules (``load_state``
 #: rejects foreign majors outright); bump the *minor* for additive
 #: changes.
+#:
+#: Minor 1: registry states may be *pointer* manifests — a
+#: ``version: 2`` fleet-registry manifest whose ``storage`` entry
+#: references an out-of-core shard directory instead of carrying the
+#: fleet's arrays inline (see
+#: :class:`repro.fleet.storage.sharded.ShardedFileBackend`).  The
+#: archive layout itself is unchanged (the arrays dict is simply
+#: empty), so the major stays 1; old readers reject the unknown
+#: registry-manifest version cleanly.
 STATE_SCHEMA_MAJOR = 1
-STATE_SCHEMA_MINOR = 0
+STATE_SCHEMA_MINOR = 1
 
 
 def encode_fields(fields: Sequence[bytes]) -> bytes:
