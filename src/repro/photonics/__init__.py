@@ -7,6 +7,19 @@ and the passive multi-port scrambling architecture of Fig. 2 — all with
 per-die process variation and thermo-optic drift.
 """
 
+from repro.photonics.backend import (
+    ArrayBackend,
+    BackendUnavailable,
+    CupyBackend,
+    NumbaBackend,
+    NumpyBackend,
+    TorchBackend,
+    available_backend_names,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.photonics.components import (
     DirectionalCoupler,
     MachZehnderInterferometer,
@@ -56,6 +69,17 @@ from repro.photonics.variation import (
 )
 
 __all__ = [
+    "ArrayBackend",
+    "BackendUnavailable",
+    "CupyBackend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "TorchBackend",
+    "available_backend_names",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
     "DirectionalCoupler",
     "MachZehnderInterferometer",
     "MicroringAddDrop",

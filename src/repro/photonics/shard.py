@@ -219,6 +219,10 @@ class _WorkerState:
             ring_b=operators["ring_b"],
             ring_a=operators["ring_a"],
             static_matrix=operators["static_matrix"],
+            # Backends travel by *name*: each worker process resolves
+            # (and self-checks) its own instance lazily at first use,
+            # with the same fall-back-to-numpy semantics as the parent.
+            backend_name=spec.get("backend", "numpy"),
         )
         self.fleet = full.shard_view(start, stop)
         self.start = start
@@ -473,6 +477,7 @@ class ShardedFleetExecutor:
                 "n_stages": self.fleet.n_stages,
                 "delay_samples": self.fleet.delay_samples,
                 "with_memory": self.fleet.with_memory,
+                "backend": self.fleet.backend_name,
             }
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(

@@ -283,11 +283,16 @@ class PhotonicStrongPUF(StrongPUF):
         return self.responses_from_energies(energies)
 
     @classmethod
-    def try_stack(cls, pufs: Sequence["PhotonicStrongPUF"]):
+    def try_stack(cls, pufs: Sequence["PhotonicStrongPUF"],
+                  backend: str = "numpy"):
         """A :class:`PhotonicFleet` over ``pufs``, or ``None`` if they
-        cannot stack (heterogeneous geometry, design, or readout chain)."""
+        cannot stack (heterogeneous geometry, design, or readout chain).
+
+        ``backend`` selects the compute backend of the stacked plane
+        (see :mod:`repro.photonics.backend`).
+        """
         try:
-            return PhotonicFleet(pufs)
+            return PhotonicFleet(pufs, backend=backend)
         except (ValueError, TypeError):
             return None
 
@@ -331,11 +336,13 @@ class PhotonicFleet:
     bit-compatible with running each die alone.
     """
 
-    def __init__(self, pufs: Sequence[PhotonicStrongPUF]):
+    def __init__(self, pufs: Sequence[PhotonicStrongPUF],
+                 backend: str = "numpy"):
         pufs = list(pufs)
         if not pufs:
             raise ValueError("cannot stack an empty fleet")
         self._executor = None
+        self.backend = backend
         base = pufs[0]
         for puf in pufs[1:]:
             if (puf.challenge_bits != base.challenge_bits
@@ -392,7 +399,8 @@ class PhotonicFleet:
         fleet = self._fleet_cache.get(key)
         if fleet is None:
             fleet = CompiledFleet.compile(
-                [puf.scrambler for puf in self.pufs], wavelength, opticals
+                [puf.scrambler for puf in self.pufs], wavelength, opticals,
+                backend=self.backend,
             )
             self._fleet_cache[key] = fleet
         return fleet

@@ -24,9 +24,25 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.fleet.lifecycle import FaultModel
 from repro.fleet.storage import BACKEND_NAMES, RegistryBackend, make_backend
+from repro.photonics.backend import backend_names as compute_backend_names
 
 CONFIG_FORMAT = "service-fleet-config"
 CONFIG_VERSION = 1
+
+
+def _reject_unknown_keys(state: Mapping[str, Any], allowed, what: str) -> None:
+    """Unknown config keys are an error, not silence.
+
+    A silently-ignored key is a misconfiguration that looks healthy
+    (``sharded_workers: 8`` runs single-core forever); naming the
+    unknown and the allowed set makes the failure immediate and clear.
+    """
+    unknown = sorted(set(state) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown {what} field(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
 
 
 @dataclass(frozen=True)
@@ -38,10 +54,18 @@ class EngineConfig:
     additionally attaches a sharded multi-core executor to that plane.
     ``stacked=False`` forces the per-die batch-1 path (the provisioning
     baseline the throughput benchmarks pin against).
+
+    ``backend`` names the compute backend the stacked plane runs its
+    hot primitives on (see :mod:`repro.photonics.backend`): ``"numpy"``
+    (default, the bit-exactness reference), ``"numba"`` for JIT-compiled
+    CPU kernels, ``"cupy"``/``"torch"`` for GPU paths.  The name must be
+    registered; a registered-but-unavailable backend degrades to numpy
+    at first use with a recorded ``degraded_reason``.
     """
 
     stacked: bool = True
     shard_workers: Optional[int] = None
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.shard_workers is not None:
@@ -54,16 +78,32 @@ class EngineConfig:
                     "shard_workers requires stacked=True (the sharded "
                     "executor runs on the fleet-stacked plane)"
                 )
+        names = compute_backend_names()
+        if self.backend not in names:
+            raise ValueError(
+                f"unknown compute backend {self.backend!r}; registered "
+                f"backends: {', '.join(names)}"
+            )
+        if self.backend != "numpy" and not self.stacked:
+            raise ValueError(
+                "backend selection requires stacked=True (alternate "
+                "backends run on the fleet-stacked plane)"
+            )
 
     def to_state(self) -> Dict[str, Any]:
         return {"stacked": bool(self.stacked),
                 "shard_workers": (None if self.shard_workers is None
-                                  else int(self.shard_workers))}
+                                  else int(self.shard_workers)),
+                "backend": str(self.backend)}
 
     @classmethod
     def from_state(cls, state: Mapping[str, Any]) -> "EngineConfig":
+        _reject_unknown_keys(
+            state, ("stacked", "shard_workers", "backend"), "engine config"
+        )
         return cls(stacked=bool(state.get("stacked", True)),
-                   shard_workers=state.get("shard_workers"))
+                   shard_workers=state.get("shard_workers"),
+                   backend=str(state.get("backend", "numpy")))
 
 
 @dataclass(frozen=True)
@@ -191,6 +231,14 @@ class FleetConfig:
             raise ValueError(
                 f"unsupported fleet-config version {state.get('version')!r}"
             )
+        _reject_unknown_keys(
+            state,
+            ("format", "version", "n_devices", "seed", "n_spot_crps",
+             "clock_tolerance", "engine", "latency_budget_s", "max_batch",
+             "fault_model", "snapshot_path", "registry_backend",
+             "storage_root", "resident_records", "puf"),
+            "fleet config",
+        )
         fault_state = state.get("fault_model")
         return cls(
             n_devices=int(state["n_devices"]),

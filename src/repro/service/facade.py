@@ -153,7 +153,8 @@ class AuthService:
         family = photonic_strong_family(config.n_devices, seed=config.seed,
                                         **config.puf)
         registry = FleetRegistry(config.make_registry_backend())
-        plane = family.stack() if config.engine.stacked else None
+        plane = (family.stack(backend=config.engine.backend)
+                 if config.engine.stacked else None)
         if plane is not None and config.engine.shard_workers is not None:
             plane.shard(n_workers=config.engine.shard_workers)
         verifier = BatchVerifier(registry, seed=config.seed,

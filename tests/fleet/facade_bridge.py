@@ -12,10 +12,11 @@ from repro.service import AuthService, EngineConfig, FleetConfig
 
 
 def provision_fleet(n_devices, seed=0, n_spot_crps=0, stacked=True,
-                    shard_workers=None, **puf):
+                    shard_workers=None, backend="numpy", **puf):
     """Legacy-tuple provisioning through the supported facade."""
     service = AuthService.provision(FleetConfig(
         n_devices=n_devices, seed=seed, n_spot_crps=n_spot_crps,
-        engine=EngineConfig(stacked=stacked, shard_workers=shard_workers),
+        engine=EngineConfig(stacked=stacked, shard_workers=shard_workers,
+                            backend=backend),
         puf=puf))
     return service.registry, service.device_list, service.verifier

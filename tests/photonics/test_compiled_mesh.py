@@ -129,6 +129,36 @@ class TestPropagationEquivalence:
                                rtol=RTOL, atol=1e-12)
 
 
+class TestScanCacheBound:
+    def test_varied_sample_counts_stay_bounded(self, scrambler):
+        from repro.photonics.engine import _SCAN_CACHE_LIMIT
+
+        engine = scrambler.compile()
+        # Sweep far more distinct sample counts (hence (stage, blocks)
+        # keys) than the cap admits; the LRU must evict, not grow.
+        for n_samples in range(16, 16 + 4 * _SCAN_CACHE_LIMIT, 2):
+            engine.propagate(random_fields((1, 8, n_samples)))
+        assert len(engine._scan_cache) <= _SCAN_CACHE_LIMIT
+
+    def test_eviction_is_least_recently_used(self, scrambler):
+        from repro.photonics.engine import _SCAN_CACHE_LIMIT
+
+        engine = scrambler.compile()
+        delay = scrambler.ring_delay_samples
+        hot = (0, 1)
+        engine._scan_coefficients(*hot)
+        # Keep the hot key warm while flooding with fresh keys: it must
+        # survive every eviction round.
+        for blocks in range(2, 2 + 2 * _SCAN_CACHE_LIMIT):
+            engine._scan_coefficients(0, blocks)
+            engine._scan_coefficients(*hot)
+            assert hot in engine._scan_cache
+        assert len(engine._scan_cache) <= _SCAN_CACHE_LIMIT
+        # Evicted entries rebuild transparently with identical results.
+        fields = random_fields((1, 8, delay * 3))
+        assert engine.propagate(fields).shape == (1, 8, delay * 3)
+
+
 class TestBatchedModulator:
     def test_drive_waveform_batch_matches_scalar(self):
         modulator = MachZehnderModulator(samples_per_bit=4, rise_samples=1.5)

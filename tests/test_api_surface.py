@@ -1,20 +1,23 @@
 """Public-API surface snapshot.
 
 The exported names of ``repro``, ``repro.fleet.storage``,
-``repro.service``, and ``repro.service.net`` are pinned against the
-checked-in manifest ``tests/api_surface.json``.  Any drift — a new
-export, a removal, a rename — fails here until the manifest is updated
-in the same change, so surface changes are always explicit and
-reviewable (CI runs this test in its own blocking step).
+``repro.photonics.backend``, ``repro.service``, and
+``repro.service.net`` are pinned against the checked-in manifest
+``tests/api_surface.json``.  Any drift — a new export, a removal, a
+rename — fails here until the manifest is updated in the same change,
+so surface changes are always explicit and reviewable (CI runs this
+test in its own blocking step).
 
 To accept an intentional change, regenerate the manifest:
 
     PYTHONPATH=src python -c "
     import json, repro, repro.service, repro.service.net
-    import repro.fleet.storage
+    import repro.fleet.storage, repro.photonics.backend
     print(json.dumps({'repro': sorted(repro.__all__),
                       'repro.fleet.storage':
                           sorted(repro.fleet.storage.__all__),
+                      'repro.photonics.backend':
+                          sorted(repro.photonics.backend.__all__),
                       'repro.service': sorted(repro.service.__all__),
                       'repro.service.net':
                           sorted(repro.service.net.__all__)},
@@ -26,6 +29,7 @@ from pathlib import Path
 
 import repro
 import repro.fleet.storage
+import repro.photonics.backend
 import repro.service
 import repro.service.net
 
@@ -61,6 +65,15 @@ class TestSurfaceSnapshot:
                 "change is intentional"
             )
 
+    def test_backend_exports_match_manifest(self):
+        manifest = load_manifest()
+        assert sorted(repro.photonics.backend.__all__) == \
+            manifest["repro.photonics.backend"], (
+                "repro.photonics.backend.__all__ drifted from "
+                "tests/api_surface.json — update the manifest if the "
+                "change is intentional"
+            )
+
     def test_net_exports_match_manifest(self):
         manifest = load_manifest()
         assert sorted(repro.service.net.__all__) == \
@@ -75,6 +88,9 @@ class TestSurfaceSnapshot:
             assert getattr(repro, name, None) is not None, name
         for name in repro.fleet.storage.__all__:
             assert getattr(repro.fleet.storage, name, None) is not None, name
+        for name in repro.photonics.backend.__all__:
+            assert getattr(repro.photonics.backend, name, None) is not None, \
+                name
         for name in repro.service.__all__:
             assert getattr(repro.service, name, None) is not None, name
         for name in repro.service.net.__all__:
@@ -84,6 +100,8 @@ class TestSurfaceSnapshot:
         assert len(set(repro.__all__)) == len(repro.__all__)
         assert len(set(repro.fleet.storage.__all__)) == \
             len(repro.fleet.storage.__all__)
+        assert len(set(repro.photonics.backend.__all__)) == \
+            len(repro.photonics.backend.__all__)
         assert len(set(repro.service.__all__)) == len(repro.service.__all__)
         assert len(set(repro.service.net.__all__)) == \
             len(repro.service.net.__all__)
