@@ -47,7 +47,7 @@ from repro.puf import (
 )
 from repro.system import DeviceSoC, SoCConfig
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 __all__ = [
     "provision",

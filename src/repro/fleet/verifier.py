@@ -314,27 +314,141 @@ class SpotCheckReport:
         return int(np.count_nonzero(self.accepted))
 
 
+class CommitLog:
+    """Durable write-ahead record of in-flight two-phase CRP commits.
+
+    :meth:`BatchVerifier._verify_round_into` *parks* every device's
+    candidate response here before the confirmation leaves the verifier,
+    and :meth:`BatchVerifier.finalize` / a clean abort resolve the entry.
+    An *ambiguous* abort — connection death after the confirmation may
+    already have reached the device — leaves the entry parked, which is
+    the whole point: a replica (or restarted verifier) sharing this log
+    can later prove from a device's next message which side of the
+    commit the device landed on and complete the registry roll lazily
+    (see :meth:`BatchVerifier._recover_interrupted`).  Without it, a
+    verifier crash in the confirmation→finalize window desynchronizes
+    the device one CRP ahead of the registry forever.
+    """
+
+    def __init__(self):
+        self._parked: Dict[str, "_ParkedCommit"] = {}
+
+    def park(self, device_id: str, session: int,
+             new_response: np.ndarray) -> None:
+        self._parked[device_id] = _ParkedCommit(
+            int(session), np.asarray(new_response, dtype=np.uint8))
+
+    def mark_exposed(self, device_id: str) -> None:
+        """The confirmation left for the device — it *may* roll now.
+
+        From this point on the entry can only be resolved by proof
+        (finalize, or :meth:`BatchVerifier._recover_interrupted` reading
+        the device's next MAC), never by a blanket unambiguous drop: an
+        abort issued later — a retry timing out, a ghost round dying —
+        speaks for *its own* attempt, not for this exposed commit.
+        """
+        entry = self._parked.get(device_id)
+        if entry is not None:
+            entry.exposed = True
+
+    def commit(self, device_id: str) -> None:
+        """The registry rolled — the commit is complete, forget it."""
+        self._parked.pop(device_id, None)
+
+    def drop(self, device_id: str) -> None:
+        """The confirmation provably never reached the device."""
+        self._parked.pop(device_id, None)
+
+    def get(self, device_id: str) -> Optional["_ParkedCommit"]:
+        return self._parked.get(device_id)
+
+    def __len__(self) -> int:
+        return len(self._parked)
+
+    def device_ids(self) -> List[str]:
+        return list(self._parked)
+
+    def to_state(self) -> dict:
+        return {
+            device_id: {
+                "session": entry.session,
+                "new_response": to_hex(_pad_bits(entry.new_response)),
+                "response_bits": int(entry.new_response.size),
+                "exposed": bool(entry.exposed),
+            }
+            for device_id, entry in self._parked.items()
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CommitLog":
+        log = cls()
+        for device_id, entry in state.items():
+            bits = bits_from_bytes(from_hex(entry["new_response"]))
+            log.park(device_id, int(entry["session"]),
+                     bits[: int(entry["response_bits"])])
+            if entry.get("exposed"):
+                log.mark_exposed(device_id)
+        return log
+
+
+@dataclass
+class _ParkedCommit:
+    """One parked confirmation: the session it closes + candidate CRP."""
+
+    session: int
+    new_response: np.ndarray
+    exposed: bool = False
+
+
 class BatchVerifier:
     """Verifier serving many mutual-auth sessions per call."""
 
     def __init__(self, registry: FleetRegistry, seed: int = 0,
                  clock_tolerance: float = 0.05, nonce_counter: int = 0,
-                 nonce_epoch: int = 0):
+                 nonce_epoch: int = 0, replica_index: int = 0,
+                 n_replicas: int = 1,
+                 commit_log: Optional[CommitLog] = None):
         self.registry = registry
         self.seed = seed
         self.clock_tolerance = clock_tolerance
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be at least 1")
+        if not 0 <= replica_index < n_replicas:
+            raise ValueError(
+                f"replica_index {replica_index} outside replica group of "
+                f"{n_replicas}"
+            )
+        self.replica_index = int(replica_index)
+        self.n_replicas = int(n_replicas)
         # Nonces are derived from (seed, epoch, counter).  The counter is
         # restorable and the epoch bumps on every from_state restore, so
         # a verifier restarted even from a *stale* checkpoint never
         # re-issues a nonce some earlier boot already put on the wire.
+        # In a replica group the epochs are additionally partitioned by
+        # residue class (stream epoch = epoch * n_replicas + index), so
+        # no replica can ever land on another replica's stream no matter
+        # how many times either side crashes and restores.
         self._nonce_counter = nonce_counter
         self._nonce_epoch = nonce_epoch
+        self.commit_log = commit_log
         # Replay tags and unmasked responses of in-flight sessions only,
         # per device; both are dropped at finalization (a finalized
         # session's messages already fail the session-index check), which
         # keeps verifier memory flat over millions of sessions.
         self._seen_tags: Dict[str, set] = {}
-        self._pending: Dict[str, np.ndarray] = {}
+        # device_id -> (round nonce, candidate response): the nonce lets
+        # finalize/abort acks prove which round they belong to.
+        self._pending: Dict[str, Tuple[bytes, np.ndarray]] = {}
+
+    @property
+    def stream_epoch(self) -> int:
+        """The epoch actually fed to the nonce/spot DRBG streams.
+
+        ``epoch * n_replicas + replica_index`` — with the single-verifier
+        defaults this reduces to the raw epoch, keeping every legacy
+        nonce stream bit-identical.
+        """
+        return self._nonce_epoch * self.n_replicas + self.replica_index
 
     def open_round(self, device_ids: Sequence[str]) -> Dict[str, bytes]:
         """Fresh per-request nonces for every device in the round."""
@@ -342,7 +456,7 @@ class BatchVerifier:
         for device_id in device_ids:
             self.registry.record(device_id)  # fail fast on unknown devices
             nonce = derive_bytes(16, self.seed, "fleet-nonce",
-                                 self._nonce_epoch, self._nonce_counter)
+                                 self.stream_epoch, self._nonce_counter)
             self._nonce_counter += 1
             nonces[device_id] = nonce
         return nonces
@@ -383,6 +497,7 @@ class BatchVerifier:
         all confirmations in one batched MAC pass.  Failure kinds and
         their precedence are identical to the sequential path.
         """
+        self._recover_interrupted(responses)
         candidates: List[tuple] = []  # (response, record, bound checks ok)
         for response in responses:
             try:
@@ -494,59 +609,201 @@ class BatchVerifier:
             new_responses,
         )
         for row, response in enumerate(valid):
-            self._pending[response.device_id] = new_responses[row]
+            # The pending is stamped with its round nonce so finalize and
+            # abort acks can prove which round they speak for: a delayed
+            # or duplicated ack frame from a superseded round must never
+            # settle (or roll!) a later session (see :meth:`finalize`).
+            self._pending[response.device_id] = (
+                bytes(nonces[response.device_id]), new_responses[row])
+            if self.commit_log is not None:
+                # Write-ahead: park the candidate before the confirmation
+                # can leave the verifier, keyed to the session it closes.
+                self.commit_log.park(
+                    response.device_id,
+                    self.registry.record(response.device_id).sessions,
+                    new_responses[row],
+                )
             report.confirmations[response.device_id] = confirmations[row]
 
-    def finalize(self, device_id: str) -> None:
-        """Commit one device's pending session: roll the CRP atomically."""
-        pending = self._pending.pop(device_id, None)
+    def _recover_interrupted(self, responses: Sequence[AuthResponse]) -> None:
+        """Complete interrupted two-phase commits proven by fresh traffic.
+
+        A crash (or ambiguous connection death) in the window between
+        CONFIRMATION delivery and finalize leaves the device one CRP
+        ahead of the registry, with the candidate parked in the shared
+        :class:`CommitLog`.  The proof that the device really rolled is
+        its *next* message: only a device holding the candidate response
+        can MAC with it.  When that proof arrives, roll the registry
+        forward and resolve the log entry — then let the message verify
+        through the normal path against the now-current record.  A
+        device that did *not* roll keeps MACing with the old response,
+        which the normal path accepts and whose finalize supersedes the
+        stale parked entry.  Hostile messages prove nothing: an
+        adversary without the candidate cannot produce the MAC, so the
+        sweep never rolls on a forgery.
+        """
+        if self.commit_log is None or len(self.commit_log) == 0:
+            return
+        for response in responses:
+            entry = self.commit_log.get(response.device_id)
+            if entry is None:
+                continue
+            try:
+                record = self.registry.record(response.device_id)
+            except AuthenticationFailure:
+                self.commit_log.drop(response.device_id)  # revoked
+                continue
+            if record.sessions != entry.session:
+                # The registry moved past the parked session through some
+                # other path; the entry is stale, not ambiguous.
+                self.commit_log.drop(response.device_id)
+                continue
+            # A rolled device stamps its next message with the session
+            # *after* the parked one.  The stamp matters beyond being a
+            # cheap pre-filter: the rolling chain can hit a fixed point
+            # (the measured next response equals the current one), and
+            # then candidate == record and the MAC alone cannot tell a
+            # rolled device from an unrolled one — only the session
+            # counter can.  The stamp is not trusted by itself: the roll
+            # still requires the MAC proof below, which an adversary
+            # without the candidate cannot forge.
+            try:
+                fields = decode_fields(response.body)
+                stamped = int.from_bytes(fields[0], "big") \
+                    if len(fields) == 4 else -1
+            except ValueError:
+                continue
+            if stamped != entry.session + 1:
+                # Still on the parked session (or garbage): not a roll
+                # proof.  The normal path verifies it against the
+                # current record and its park supersedes this entry.
+                continue
+            if verify_mac(response.body, _pad_bits(entry.new_response),
+                          response.tag):
+                self.registry.roll(response.device_id, entry.new_response)
+                self.commit_log.commit(response.device_id)
+                # The completed session's replay tags are obsolete (its
+                # messages now fail the session-index check).
+                self._seen_tags.pop(response.device_id, None)
+
+    def finalize(self, device_id: str,
+                 token: Optional[bytes] = None) -> None:
+        """Commit one device's pending session: roll the CRP atomically.
+
+        ``token`` (the round nonce, when the caller knows it) fences the
+        commit to the round that earned it.  A finalize whose token does
+        not match the pending's nonce is a *stale ack* — a chaos-delayed
+        or duplicated frame from a round that has since been superseded
+        — and is ignored: rolling on it would advance the registry with
+        a candidate the device never confirmed.  ``token=None`` (the
+        in-process paths, where acks cannot reorder) commits
+        unconditionally.
+        """
+        pending = self._pending.get(device_id)
         if pending is None:
             raise AuthenticationFailure(
                 f"device {device_id!r} has no session to finalise",
                 FailureKind.NO_SESSION,
             )
-        self.registry.roll(device_id, pending)
+        nonce, new_response = pending
+        if token is not None and bytes(token) != nonce:
+            return
+        del self._pending[device_id]
+        self.registry.roll(device_id, new_response)
+        if self.commit_log is not None:
+            self.commit_log.commit(device_id)
         # A finalized session's messages fail the session-index check, so
         # their replay tags can be dropped.
         self._seen_tags.pop(device_id, None)
 
-    def abort(self, device_id: str) -> None:
+    def expose(self, device_id: str) -> None:
+        """Record that this device's confirmation is leaving the server.
+
+        Called by the transport layer just before the CONFIRMATION frame
+        is written: past this point the device may roll, so the parked
+        candidate becomes un-droppable by unambiguous aborts (only
+        finalize or MAC-proven recovery may resolve it).
+        """
+        if self.commit_log is not None:
+            self.commit_log.mark_exposed(device_id)
+
+    def abort(self, device_id: str, ambiguous: bool = False,
+              token: Optional[bytes] = None) -> None:
         """Discard a pending session (confirmation undeliverable/rejected).
 
         Both sides stay on the current CRP; the device simply retries.
+        ``ambiguous=True`` means the confirmation *may* have reached the
+        device (connection died after it was sent): the in-memory
+        pending is still dropped, but the parked :class:`CommitLog`
+        entry survives so :meth:`_recover_interrupted` can settle the
+        question from the device's next message.
+
+        Like :meth:`finalize`, ``token`` fences the abort to its round:
+        a stale ack whose nonce does not match the current pending is
+        ignored outright rather than tearing down a later session.
+
+        Even an "unambiguous" abort only drops an *unexposed* entry.
+        An abort is evidence about the attempt that issued it — a client
+        retry timing out, a rejected confirmation — not about an earlier
+        exposed commit still parked under the same device id (the
+        crash-window entry a promoted replica must keep until the
+        device's next MAC settles it).  Dropping on device id alone
+        would let one lost RESPONSE destroy the only proof of a
+        completed roll and desynchronize the device forever.
         """
-        self._pending.pop(device_id, None)
+        pending = self._pending.get(device_id)
+        if pending is not None:
+            if token is not None and bytes(token) != pending[0]:
+                return
+            del self._pending[device_id]
+        if ambiguous or self.commit_log is None:
+            return
+        entry = self.commit_log.get(device_id)
+        if entry is not None and not entry.exposed:
+            self.commit_log.drop(device_id)
 
     def evict(self, device_id: str) -> None:
         """Drop all per-device verifier state (revocation cleanup)."""
         self._pending.pop(device_id, None)
         self._seen_tags.pop(device_id, None)
+        if self.commit_log is not None:
+            self.commit_log.drop(device_id)
 
     def to_state(self) -> dict:
         """Durable verifier state beyond the registry.
 
         Only the nonce stream state matters across a restart.  In-flight
         pendings and replay tags are transient by design — an interrupted
-        session is simply retried under the two-phase commit.
+        session is simply retried under the two-phase commit.  The
+        shared :class:`CommitLog` is deliberately *not* captured here:
+        it is group-owned durable state with its own ``to_state``.
         """
         return {"seed": int(self.seed),
                 "clock_tolerance": float(self.clock_tolerance),
                 "nonce_counter": int(self._nonce_counter),
-                "nonce_epoch": int(self._nonce_epoch)}
+                "nonce_epoch": int(self._nonce_epoch),
+                "replica_index": int(self.replica_index),
+                "n_replicas": int(self.n_replicas)}
 
     @classmethod
-    def from_state(cls, registry: FleetRegistry,
-                   state: dict) -> "BatchVerifier":
+    def from_state(cls, registry: FleetRegistry, state: dict,
+                   commit_log: Optional[CommitLog] = None) -> "BatchVerifier":
         """Restart from a snapshot; the nonce epoch advances by one.
 
         The epoch bump makes every post-restart nonce fresh even when the
         snapshot is stale (counter behind the crashed verifier's), which
         closes the replay window a counter-only restore would leave open.
+        The replica partition (index, group size) rides along, so the
+        bumped epoch stays in the same residue class — a restored
+        replica can still never collide with its peers.
         """
         return cls(registry, seed=int(state["seed"]),
                    clock_tolerance=float(state["clock_tolerance"]),
                    nonce_counter=int(state["nonce_counter"]),
-                   nonce_epoch=int(state.get("nonce_epoch", 0)) + 1)
+                   nonce_epoch=int(state.get("nonce_epoch", 0)) + 1,
+                   replica_index=int(state.get("replica_index", 0)),
+                   n_replicas=int(state.get("n_replicas", 1)),
+                   commit_log=commit_log)
 
     def authenticate_fleet(self, devices: Sequence[FleetDevice]) -> BatchAuthReport:
         """Run one full mutual-auth session for every device, in one call.
@@ -598,7 +855,7 @@ class BatchVerifier:
         is one vectorized fractional-Hamming-distance comparison across
         the whole fleet.
         """
-        rng = derive_rng(self.seed, "fleet-spot", self._nonce_epoch,
+        rng = derive_rng(self.seed, "fleet-spot", self.stream_epoch,
                          self._nonce_counter)
         self._nonce_counter += 1
         # Draw every device's burn indices first (one shared RNG stream,
@@ -659,7 +916,7 @@ class BatchVerifier:
         advance), so in-process and remote spot checks burn identical
         pool indices.
         """
-        rng = derive_rng(self.seed, "fleet-spot", self._nonce_epoch,
+        rng = derive_rng(self.seed, "fleet-spot", self.stream_epoch,
                          self._nonce_counter)
         self._nonce_counter += 1
         record = self.registry.record(device_id)

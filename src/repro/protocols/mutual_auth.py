@@ -71,6 +71,13 @@ class FailureKind(str, Enum):
     # repro.service classify with the same vocabulary as protocol checks.
     RATE_LIMITED = "rate-limited"
     UNSUPPORTED_VERSION = "unsupported-version"
+    # HA/failover kinds: replicated deployments classify transport-level
+    # trouble with the same vocabulary, so one retry taxonomy covers the
+    # in-process, wire, and replicated paths alike.
+    REPLICA_UNAVAILABLE = "replica-unavailable"
+    LEASE_EXPIRED = "lease-expired"
+    CONNECTION_LOST = "connection-lost"
+    TIMEOUT = "timeout"
     UNSPECIFIED = "unspecified"
 
 

@@ -22,7 +22,12 @@
 * :mod:`repro.service.net` — the asyncio TCP transport speaking that
   codec: :class:`~repro.service.net.AuthServer` serves a wrapped
   :class:`AuthService`; :class:`~repro.service.net.AuthClient` mirrors
-  the facade verbs on the device side of the socket.
+  the facade verbs on the device side of the socket;
+* :mod:`repro.service.ha` — the replicated verifier plane:
+  :class:`~repro.service.ha.ReplicaGroup` runs N servers over shared
+  durable state with lease-based failover, and
+  :class:`~repro.service.ha.HAAuthClient` fails over between their
+  endpoints under a retry/backoff policy.
 
 The pre-redesign free functions (``repro.fleet.provision_fleet``,
 ``respond_fleet``, ``respond_fleet_staged``) are deprecated shims that
@@ -47,7 +52,7 @@ from repro.service.codec import (
     negotiate_version,
     peek_header,
 )
-from repro.service.config import EngineConfig, FleetConfig
+from repro.service.config import EngineConfig, FleetConfig, HAConfig
 from repro.service.facade import AuthOutcome, AuthService
 from repro.service.policy import (
     AuditLogPolicy,
@@ -68,6 +73,7 @@ __all__ = [
     "CodecError",
     "EngineConfig",
     "FleetConfig",
+    "HAConfig",
     "RateLimitPolicy",
     "RetryPolicy",
     "ServicePolicy",

@@ -107,6 +107,70 @@ class EngineConfig:
 
 
 @dataclass(frozen=True)
+class HAConfig:
+    """High-availability knobs for a replicated verifier plane.
+
+    Consumed by :class:`repro.service.ha.ReplicaGroup`: ``n_replicas``
+    sizes the group (each replica gets its own residue class of the
+    nonce-epoch partition), the lease pair governs failover latency —
+    a primary that misses heartbeats for ``lease_timeout_s`` loses the
+    lease and the lowest-index live standby is promoted.  ``handoff``
+    selects how a promoted replica acquires registry state: ``"shared"``
+    serves all replicas from one durable registry object (the in-process
+    model of a shared store), ``"attach"`` re-attaches the sharded
+    on-disk registry root on promotion (requires
+    ``registry_backend='sharded'``; exercises the real crash path —
+    checkpoint plus write-ahead journal replay).
+    """
+
+    n_replicas: int = 1
+    lease_timeout_s: float = 0.5
+    heartbeat_interval_s: float = 0.1
+    handoff: str = "shared"
+
+    def __post_init__(self) -> None:
+        if int(self.n_replicas) < 1:
+            raise ValueError(
+                f"n_replicas must be >= 1, got {self.n_replicas}"
+            )
+        if float(self.lease_timeout_s) <= 0.0:
+            raise ValueError("lease_timeout_s must be positive")
+        if float(self.heartbeat_interval_s) <= 0.0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if float(self.heartbeat_interval_s) >= float(self.lease_timeout_s):
+            raise ValueError(
+                "heartbeat_interval_s must be shorter than lease_timeout_s "
+                "(a healthy primary must renew before the lease runs out)"
+            )
+        if self.handoff not in ("shared", "attach"):
+            raise ValueError(
+                f"handoff must be 'shared' or 'attach', got {self.handoff!r}"
+            )
+
+    def to_state(self) -> Dict[str, Any]:
+        return {"n_replicas": int(self.n_replicas),
+                "lease_timeout_s": float(self.lease_timeout_s),
+                "heartbeat_interval_s": float(self.heartbeat_interval_s),
+                "handoff": str(self.handoff)}
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "HAConfig":
+        _reject_unknown_keys(
+            state,
+            ("n_replicas", "lease_timeout_s", "heartbeat_interval_s",
+             "handoff"),
+            "ha config",
+        )
+        return cls(
+            n_replicas=int(state.get("n_replicas", 1)),
+            lease_timeout_s=float(state.get("lease_timeout_s", 0.5)),
+            heartbeat_interval_s=float(
+                state.get("heartbeat_interval_s", 0.1)),
+            handoff=str(state.get("handoff", "shared")),
+        )
+
+
+@dataclass(frozen=True)
 class FleetConfig:
     """One declarative description of a provisioned, running fleet.
 
@@ -139,6 +203,7 @@ class FleetConfig:
     registry_backend: str = "memory"
     storage_root: Optional[str] = None
     resident_records: Optional[int] = None
+    ha: Optional[HAConfig] = None
     puf: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -181,6 +246,15 @@ class FleetConfig:
             raise ValueError(
                 f"resident_records must be >= 1, got {self.resident_records}"
             )
+        if self.ha is not None:
+            if not isinstance(self.ha, HAConfig):
+                raise TypeError("ha must be an HAConfig or None")
+            if self.ha.handoff == "attach" \
+                    and self.registry_backend != "sharded":
+                raise ValueError(
+                    "ha handoff='attach' requires registry_backend="
+                    "'sharded' (promotion re-attaches the on-disk root)"
+                )
         if not all(isinstance(key, str) for key in self.puf):
             raise TypeError("puf design knobs must be keyed by name")
         # Freeze a private copy: the config must not alias a caller dict
@@ -218,6 +292,7 @@ class FleetConfig:
             "storage_root": self.storage_root,
             "resident_records": (None if self.resident_records is None
                                  else int(self.resident_records)),
+            "ha": None if self.ha is None else self.ha.to_state(),
             "puf": dict(self.puf),
         }
 
@@ -236,10 +311,11 @@ class FleetConfig:
             ("format", "version", "n_devices", "seed", "n_spot_crps",
              "clock_tolerance", "engine", "latency_budget_s", "max_batch",
              "fault_model", "snapshot_path", "registry_backend",
-             "storage_root", "resident_records", "puf"),
+             "storage_root", "resident_records", "ha", "puf"),
             "fleet config",
         )
         fault_state = state.get("fault_model")
+        ha_state = state.get("ha")
         return cls(
             n_devices=int(state["n_devices"]),
             seed=int(state.get("seed", 0)),
@@ -254,5 +330,6 @@ class FleetConfig:
             registry_backend=state.get("registry_backend", "memory"),
             storage_root=state.get("storage_root"),
             resident_records=state.get("resident_records"),
+            ha=None if ha_state is None else HAConfig.from_state(ha_state),
             puf=dict(state.get("puf", {})),
         )

@@ -11,6 +11,7 @@ and :mod:`~repro.service.net.stream` for the protocol, coalescing,
 backpressure, and isolation contracts.
 """
 
+from repro.service.net.chaos import ChaosMetrics, ChaosTransport, LegChaos
 from repro.service.net.client import AuthClient, RemoteAuthError, RemoteTicket
 from repro.service.net.server import AuthServer, NetConfig, ServerMetrics
 from repro.service.net.stream import MAX_FRAME_BYTES, read_frame, write_frame
@@ -18,6 +19,9 @@ from repro.service.net.stream import MAX_FRAME_BYTES, read_frame, write_frame
 __all__ = [
     "AuthClient",
     "AuthServer",
+    "ChaosMetrics",
+    "ChaosTransport",
+    "LegChaos",
     "MAX_FRAME_BYTES",
     "NetConfig",
     "RemoteAuthError",

@@ -50,6 +50,7 @@ from repro.service.codec import (
     encode_message,
 )
 from repro.service.net.stream import MAX_FRAME_BYTES, read_frame, write_frame
+from repro.service.policy import RetryPolicy
 from repro.utils.serialization import encode_fields
 
 __all__ = ["AuthClient", "RemoteAuthError", "RemoteTicket"]
@@ -178,7 +179,21 @@ class AuthClient:
                        handshake_timeout_s: float,
                        response_timeout_s: float,
                        max_frame_bytes: int) -> "AuthClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        # Every pre-session await is bounded and taxonomy-coded: a
+        # black-holed SYN, a server that accepts and goes silent, or one
+        # that dies between HELLO and WELCOME must surface as a typed
+        # RemoteAuthError within the handshake timeout, never hang.
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), handshake_timeout_s)
+        except asyncio.TimeoutError as exc:
+            raise RemoteAuthError(
+                f"connect to {host}:{port} timed out",
+                FailureKind.TIMEOUT) from exc
+        except (ConnectionError, OSError) as exc:
+            raise RemoteAuthError(
+                f"connect to {host}:{port} failed: {exc}",
+                FailureKind.CONNECTION_LOST) from exc
         try:
             write_frame(writer, encode_message(SessionHello(peer)))
             await writer.drain()
@@ -187,7 +202,8 @@ class AuthClient:
                                      frame_timeout=handshake_timeout_s)
             if frame is None:
                 raise RemoteAuthError(
-                    "server closed the connection mid-handshake")
+                    "server closed the connection mid-handshake",
+                    FailureKind.CONNECTION_LOST)
             reply = decode_message(frame)
             if isinstance(reply, SessionReject):
                 raise RemoteAuthError(reply.reason or reply.kind, reply.kind)
@@ -195,6 +211,16 @@ class AuthClient:
                 raise RemoteAuthError(
                     f"expected a WELCOME, got {type(reply).__name__}",
                     FailureKind.MALFORMED)
+        except asyncio.TimeoutError as exc:
+            writer.close()
+            raise RemoteAuthError(
+                "server did not complete the handshake in time",
+                FailureKind.TIMEOUT) from exc
+        except (ConnectionError, OSError) as exc:
+            writer.close()
+            raise RemoteAuthError(
+                f"connection lost mid-handshake: {exc}",
+                FailureKind.CONNECTION_LOST) from exc
         except BaseException:
             writer.close()
             raise
@@ -212,7 +238,8 @@ class AuthClient:
             await self._reader_task
         except (asyncio.CancelledError, Exception):
             pass
-        self._fail_all(RemoteAuthError("connection closed"))
+        self._fail_all(RemoteAuthError("connection closed",
+                                       FailureKind.CONNECTION_LOST))
         try:
             self._writer.close()
             await self._writer.wait_closed()
@@ -261,12 +288,52 @@ class AuthClient:
         return ticket
 
     async def authenticate(self, device: FleetDevice,
-                           flush: bool = False) -> RemoteTicket:
-        """Submit and wait for settlement (optionally forcing a flush)."""
-        ticket = await self.submit(device)
-        if flush:
-            await self.flush()
-        return await ticket.wait(self._timeout)
+                           flush: bool = False,
+                           retry_policy: Optional["RetryPolicy"] = None,
+                           ) -> RemoteTicket:
+        """Submit and wait for settlement (optionally forcing a flush).
+
+        With a :class:`~repro.service.policy.RetryPolicy`, settled
+        failures whose kind the policy deems retryable are retried on
+        this same connection after the policy's backoff — the identical
+        taxonomy the in-process facade uses, now covering the transport
+        kinds too (``timeout``, ``replica-unavailable``, ...).  A ticket
+        that never settles within the verb timeout is aborted
+        server-side (keeping both ends on the old CRP) and settled
+        locally as a retryable ``timeout``.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            ticket = await self.submit(device)
+            if flush:
+                await self.flush()
+            try:
+                await ticket.wait(self._timeout)
+            except asyncio.TimeoutError:
+                # The challenge or confirmation is lost in transit.  The
+                # two-phase commit makes the abort safe: the device never
+                # confirmed, so telling the server to abort leaves both
+                # sides on the old CRP and the retry is idempotent.
+                self._tickets.pop(device.device_id, None)
+                try:
+                    # Quote the round nonce (when a challenge arrived) so
+                    # the abort can only tear down *this* attempt's round
+                    # server-side, never a later one it raced.
+                    await self._send(SessionRequest(
+                        "abort", device.device_id,
+                        {"round": ticket.nonce} if ticket.nonce else {}))
+                except AuthenticationFailure:
+                    pass
+                ticket._settle(False, "no settlement before the verb "
+                               "deadline", FailureKind.TIMEOUT.value)
+            if ticket.accepted or retry_policy is None:
+                return ticket
+            if not retry_policy.should_retry(ticket.failure_kind, attempt):
+                return ticket
+            delay = retry_policy.delay(attempt)
+            if delay > 0.0:
+                await asyncio.sleep(delay)
 
     async def flush(self) -> None:
         """Force the server's pending micro-round to run now."""
@@ -323,9 +390,9 @@ class AuthClient:
                     AuthenticationFailure(f"confirmation: {failure}",
                                           failure.kind))
                 report.confirmations.pop(device_id, None)
-                await self.abort(device_id)
+                await self.abort(device_id, token=nonces[device_id])
                 continue
-            await self.finalize(device_id)
+            await self.finalize(device_id, token=nonces[device_id])
         return report
 
     # -- transport-level wire-round verbs (gateway mode) ------------------
@@ -374,25 +441,35 @@ class AuthClient:
             self._round = None
         return report, dict(round_.confirmations)
 
-    async def finalize(self, device_id: str) -> None:
-        """Ack a confirmation: commit the verifier's side of the roll."""
-        self._raise_if_failed(await self._call("finalize", device_id))
+    async def finalize(self, device_id: str,
+                       token: Optional[bytes] = None) -> None:
+        """Ack a confirmation: commit the verifier's side of the roll.
 
-    async def abort(self, device_id: str) -> None:
+        ``token`` is the round's challenge nonce; when given, the server
+        only commits the round it names (stale acks are no-ops).
+        """
+        self._raise_if_failed(await self._call(
+            "finalize", device_id, {"round": token} if token else {}))
+
+    async def abort(self, device_id: str,
+                    token: Optional[bytes] = None) -> None:
         """Refuse a confirmation: both sides stay on the old CRP."""
-        self._raise_if_failed(await self._call("abort", device_id))
+        self._raise_if_failed(await self._call(
+            "abort", device_id, {"round": token} if token else {}))
 
     # -- plumbing ---------------------------------------------------------
 
     async def _send(self, message) -> None:
         if self._closed:
-            raise self._close_error or RemoteAuthError("connection closed")
+            raise self._close_error or RemoteAuthError(
+                "connection closed", FailureKind.CONNECTION_LOST)
         try:
             async with self._send_lock:
                 write_frame(self._writer, encode_message(message))
                 await self._writer.drain()
         except ConnectionError as exc:
-            raise RemoteAuthError(f"connection lost: {exc}") from exc
+            raise RemoteAuthError(f"connection lost: {exc}",
+                                  FailureKind.CONNECTION_LOST) from exc
 
     def _expect(self, verb: str, device_id: str = "") -> asyncio.Future:
         future = asyncio.get_running_loop().create_future()
@@ -439,7 +516,8 @@ class AuthClient:
                                          max_bytes=self._max_frame_bytes)
                 if frame is None:
                     self._fail_all(RemoteAuthError(
-                        "server closed the connection"))
+                        "server closed the connection",
+                        FailureKind.CONNECTION_LOST))
                     return
                 await self._handle_frame(decode_message(frame))
         except asyncio.CancelledError:
@@ -447,7 +525,8 @@ class AuthClient:
         except AuthenticationFailure as failure:
             self._fail_all(RemoteAuthError(str(failure), failure.kind))
         except (ConnectionError, OSError) as exc:
-            self._fail_all(RemoteAuthError(f"connection lost: {exc}"))
+            self._fail_all(RemoteAuthError(f"connection lost: {exc}",
+                                           FailureKind.CONNECTION_LOST))
 
     async def _handle_frame(self, message) -> None:
         if isinstance(message, AuthChallenge):
@@ -474,6 +553,14 @@ class AuthClient:
         ticket = self._tickets.get(challenge.device_id)
         if ticket is None:
             return                        # unsolicited — ignore
+        if ticket.nonce is not None:
+            # A second CHALLENGE for an attempt already answered — a
+            # duplicated REQUEST opened a ghost round server-side.
+            # Answering it would overwrite the device's pending mask
+            # (and this ticket's nonce) while the first round's
+            # CONFIRMATION is in flight; stay bound to the first round
+            # and let the ghost time out.
+            return
         ticket.nonce = challenge.nonce
         try:
             response = ticket.device.respond(challenge.nonce)
@@ -492,18 +579,21 @@ class AuthClient:
         ticket = self._tickets.get(confirmation.device_id)
         if ticket is None:
             return
+        round_token = {"round": ticket.nonce} if ticket.nonce else {}
         try:
             ticket.device.confirm(confirmation.mac, ticket.nonce)
         except AuthenticationFailure as failure:
             # Two-phase commit: refuse the ack so the verifier stays on
             # the old CRP alongside this device.
             await self._send_raw(encode_message(
-                SessionRequest("abort", confirmation.device_id)))
+                SessionRequest("abort", confirmation.device_id,
+                               round_token)))
             self._finish_ticket(ticket, False, f"confirmation: {failure}",
                                 failure.kind.value)
             return
         await self._send_raw(encode_message(
-            SessionRequest("finalize", confirmation.device_id)))
+            SessionRequest("finalize", confirmation.device_id,
+                           round_token)))
         self._finish_ticket(ticket, True)
 
     def _on_result(self, result: SessionResult) -> None:

@@ -130,6 +130,7 @@ class ServerMetrics:
     flushed_by_size: int = 0
     flushed_by_deadline: int = 0
     flushed_by_duplicate: int = 0
+    retransmits_dropped: int = 0
     auths_accepted: int = 0
     auths_failed: int = 0
     responses_timed_out: int = 0
@@ -236,9 +237,22 @@ class AuthServer:
     of the in-process path apply unchanged to served fleets.
     """
 
-    def __init__(self, service, config: Optional[NetConfig] = None):
+    #: Verbs a fenced (non-primary / lease-lost) replica refuses.  The
+    #: finalize/abort acks stay unfenced: they settle rounds *this*
+    #: server already ran, and on a server that never ran one they land
+    #: as a harmless NO_SESSION from the verifier.
+    FENCED_VERBS = frozenset({"auth", "enroll", "revoke", "spot",
+                              "spot-submit", "open-round", "close-round"})
+
+    def __init__(self, service, config: Optional[NetConfig] = None,
+                 fence=None):
         self.service = service
         self.config = config or NetConfig()
+        # ``fence`` is an optional callable returning None (serve) or an
+        # AuthenticationFailure to refuse state-changing verbs with —
+        # how a ReplicaGroup keeps standbys and deposed primaries from
+        # opening rounds (see repro.service.ha).
+        self.fence = fence
         self.metrics = ServerMetrics()
         self._clock = service.clock
         self._budget = (self.config.latency_budget_s
@@ -315,6 +329,38 @@ class AuthServer:
             await asyncio.wait(list(self._handlers),
                                timeout=self.config.drain_timeout_s)
 
+    async def kill(self) -> None:
+        """Abrupt crash, for chaos testing: no drain, no final flush.
+
+        In-flight rounds are cancelled wherever they stand — between
+        CONFIRMATION and finalize included, which is exactly the window
+        the CommitLog recovery path exists for.  Connection teardown
+        still runs (a dead process's sockets close too), so unacked
+        confirmations become *ambiguous* aborts, never clean ones.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+        for task in list(self._rounds):
+            task.cancel()
+        for conn in list(self._conns):
+            conn.close()
+        for task in list(self._handlers):
+            task.cancel()
+        doomed = [task for task in (*self._rounds, *self._handlers,
+                                    self._flush_task) if task is not None]
+        if doomed:
+            await asyncio.gather(*doomed, return_exceptions=True)
+        if self._server is not None:
+            try:
+                await self._server.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
     # -- the shared flush timer ------------------------------------------
 
     async def _flush_timer(self) -> None:
@@ -352,6 +398,16 @@ class AuthServer:
         # must not poison the micro-round it would have joined.
         self.service.registry.record(device_id)
         if device_id in self._pending_ids:
+            if any(queued_conn is conn and queued_id == device_id
+                   for queued_conn, queued_id in self._pending):
+                # A retransmit (a duplicating network, or a client retry
+                # racing its own first request): the pending entry will
+                # challenge the device; queueing a second would open a
+                # ghost round whose failure RESULT races the real
+                # round's CONFIRMATION.  Submit is idempotent per
+                # (connection, device).
+                self.metrics.retransmits_dropped += 1
+                return
             self.metrics.flushed_by_duplicate += 1
             self._flush()
         self._pending.append((conn, device_id))
@@ -435,6 +491,10 @@ class AuthServer:
         for conn, device_id in live:
             self._drop_route(conn, device_id, round_)
             if device_id in report.confirmations:
+                # Expose before the frame is written: from here the
+                # device may roll, so the parked candidate must survive
+                # any later unambiguous abort (see BatchVerifier.abort).
+                self.service.verifier.expose(device_id)
                 if await conn.send(confirmation_frames[device_id]):
                     conn.ack_pending.add(device_id)
                     self._ack_pending.add((conn, device_id))
@@ -451,7 +511,7 @@ class AuthServer:
                 await self._fail_auth(
                     conn, device_id,
                     "no response before the round deadline",
-                    FailureKind.UNSPECIFIED.value,
+                    FailureKind.TIMEOUT.value,
                 )
 
     @staticmethod
@@ -476,10 +536,15 @@ class AuthServer:
         ))
 
     def _abort_unacked(self, conn: _Connection, device_id: str) -> None:
+        # The confirmation may already have reached the device before the
+        # connection died, so this abort is *ambiguous*: when the
+        # verifier carries a shared CommitLog the parked candidate
+        # survives, and the device's next message settles which side of
+        # the commit it landed on (see BatchVerifier._recover_interrupted).
         self.metrics.acks_aborted += 1
         conn.ack_pending.discard(device_id)
         self._ack_pending.discard((conn, device_id))
-        self.service.verifier.abort(device_id)
+        self.service.verifier.abort(device_id, ambiguous=True)
 
     # -- connection handling ---------------------------------------------
 
@@ -636,6 +701,10 @@ class AuthServer:
         verb = request.verb
         device_id = request.device_id
         params = request.params
+        if self.fence is not None and verb in self.FENCED_VERBS:
+            refusal = self.fence()
+            if refusal is not None:
+                raise refusal
         if verb == "auth":
             if self._closing:
                 raise AuthenticationFailure(
@@ -732,18 +801,24 @@ class AuthServer:
             report_frame, confirmation_frames = \
                 self.service.verify_round_wire(explicit.frames,
                                                explicit.nonces)
-            for frame in confirmation_frames.values():
+            for accepted_id, frame in confirmation_frames.items():
+                self.service.verifier.expose(accepted_id)
                 await conn.send(frame)
             await conn.send(report_frame)
             return
         if verb == "finalize":
-            self.service.verifier.finalize(device_id)
+            # The "round" param (the challenge nonce) fences the ack to
+            # the round that earned it: a chaos-delayed or duplicated
+            # finalize must not commit a later pending session.
+            self.service.verifier.finalize(device_id,
+                                           token=params.get("round"))
             conn.ack_pending.discard(device_id)
             self._ack_pending.discard((conn, device_id))
             await conn.send_message(SessionResult("finalize", device_id))
             return
         if verb == "abort":
-            self.service.verifier.abort(device_id)
+            self.service.verifier.abort(device_id,
+                                        token=params.get("round"))
             conn.ack_pending.discard(device_id)
             self._ack_pending.discard((conn, device_id))
             await conn.send_message(SessionResult("abort", device_id))

@@ -18,6 +18,7 @@ from typing import Callable, Deque, Dict, FrozenSet, List, Optional
 
 from repro.fleet.verifier import BatchAuthReport
 from repro.protocols.mutual_auth import AuthenticationFailure, FailureKind
+from repro.utils.rng import derive_rng
 
 
 class ServicePolicy:
@@ -129,29 +130,85 @@ TRANSIENT_KINDS: FrozenSet[str] = frozenset({
     FailureKind.NO_NONCE.value,
 })
 
+#: The wider transient set for *networked* clients: everything in
+#: :data:`TRANSIENT_KINDS` plus the transport-level kinds a failover to
+#: another replica (or simply waiting out a promotion) can clear.
+NETWORK_TRANSIENT_KINDS: FrozenSet[str] = TRANSIENT_KINDS | frozenset({
+    FailureKind.REPLICA_UNAVAILABLE.value,
+    FailureKind.LEASE_EXPIRED.value,
+    FailureKind.CONNECTION_LOST.value,
+    FailureKind.TIMEOUT.value,
+})
+
 
 class RetryPolicy:
-    """Retry decision for :meth:`repro.service.AuthService.authenticate`.
+    """Retry decision for :meth:`repro.service.AuthService.authenticate`
+    and the networked clients (:class:`repro.service.net.AuthClient`,
+    :class:`repro.service.ha.HAAuthClient`).
 
     ``max_retries`` bounds the extra attempts; ``retryable`` names the
     :class:`~repro.protocols.mutual_auth.FailureKind` values (by string)
     worth retrying.  Deterministic failures (bad MAC, clock anomaly,
     revocation) are never retried by default — the outcome would not
     change.
+
+    The backoff knobs only matter to networked callers: attempt ``n``
+    (first retry is ``n=1``) sleeps
+    ``min(backoff_max_s, backoff_base_s * backoff_factor**(n-1))``
+    plus up to ``jitter`` fraction of that, drawn from a deterministic
+    per-policy stream seeded by ``seed`` — two clients with different
+    seeds desynchronize their retry storms, but a given seed replays the
+    exact same schedule.  The in-process facade keeps the legacy
+    no-sleep behaviour via the ``backoff_base_s=0`` default.
     """
 
     def __init__(self, max_retries: int = 2,
-                 retryable: FrozenSet[str] = TRANSIENT_KINDS):
+                 retryable: FrozenSet[str] = TRANSIENT_KINDS,
+                 backoff_base_s: float = 0.0,
+                 backoff_factor: float = 2.0,
+                 backoff_max_s: float = 1.0,
+                 jitter: float = 0.1,
+                 seed: int = 0):
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if backoff_base_s < 0.0 or backoff_max_s < 0.0:
+            raise ValueError("backoff bounds must be non-negative")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
         self.max_retries = int(max_retries)
         self.retryable = frozenset(retryable)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_max_s = float(backoff_max_s)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self._jitter_rng = derive_rng(self.seed, "retry-jitter")
+
+    @classmethod
+    def network(cls, max_retries: int = 8, backoff_base_s: float = 0.02,
+                backoff_max_s: float = 0.5, seed: int = 0,
+                **kwargs) -> "RetryPolicy":
+        """The failover-client default: transport kinds, real backoff."""
+        return cls(max_retries=max_retries,
+                   retryable=NETWORK_TRANSIENT_KINDS,
+                   backoff_base_s=backoff_base_s,
+                   backoff_max_s=backoff_max_s, seed=seed, **kwargs)
 
     def should_retry(self, failure_kind: Optional[str],
                      attempt: int) -> bool:
         """``attempt`` counts completed tries (first call passes 1)."""
         return (attempt <= self.max_retries
                 and failure_kind in self.retryable)
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to back off before retry ``attempt`` (first is 1)."""
+        if self.backoff_base_s == 0.0:
+            return 0.0
+        base = min(self.backoff_max_s,
+                   self.backoff_base_s * self.backoff_factor ** (attempt - 1))
+        return base * (1.0 + self.jitter * float(self._jitter_rng.random()))
 
 
 def run_hooks(policies: List[ServicePolicy], hook: str, *args) -> None:

@@ -1,39 +1,54 @@
 """Public-API surface snapshot.
 
 The exported names of ``repro``, ``repro.fleet.storage``,
-``repro.photonics.backend``, ``repro.service``, and
-``repro.service.net`` are pinned against the checked-in manifest
-``tests/api_surface.json``.  Any drift — a new export, a removal, a
-rename — fails here until the manifest is updated in the same change,
-so surface changes are always explicit and reviewable (CI runs this
-test in its own blocking step).
+``repro.photonics.backend``, ``repro.service``, ``repro.service.net``,
+and ``repro.service.ha`` — plus the :class:`FailureKind` taxonomy —
+are pinned against the checked-in manifest ``tests/api_surface.json``.
+Any drift — a new export, a removal, a rename — fails here until the
+manifest is updated in the same change, so surface changes are always
+explicit and reviewable (CI runs this test in its own blocking step).
 
 To accept an intentional change, regenerate the manifest:
 
     PYTHONPATH=src python -c "
-    import json, repro, repro.service, repro.service.net
-    import repro.fleet.storage, repro.photonics.backend
-    print(json.dumps({'repro': sorted(repro.__all__),
-                      'repro.fleet.storage':
-                          sorted(repro.fleet.storage.__all__),
-                      'repro.photonics.backend':
-                          sorted(repro.photonics.backend.__all__),
-                      'repro.service': sorted(repro.service.__all__),
-                      'repro.service.net':
-                          sorted(repro.service.net.__all__)},
-                     indent=2, sort_keys=True))" > tests/api_surface.json
+    import json
+    from tests.test_api_surface import current_surface
+    print(json.dumps(current_surface(), indent=2, sort_keys=True))
+    " > tests/api_surface.json
 """
 
 import json
 from pathlib import Path
 
+import pytest
+
 import repro
 import repro.fleet.storage
 import repro.photonics.backend
 import repro.service
+import repro.service.ha
 import repro.service.net
+from repro.protocols.mutual_auth import FailureKind
 
 MANIFEST_PATH = Path(__file__).parent / "api_surface.json"
+
+#: Every module whose ``__all__`` is a supported surface.
+SURFACE_MODULES = {
+    "repro": repro,
+    "repro.fleet.storage": repro.fleet.storage,
+    "repro.photonics.backend": repro.photonics.backend,
+    "repro.service": repro.service,
+    "repro.service.ha": repro.service.ha,
+    "repro.service.net": repro.service.net,
+}
+
+
+def current_surface() -> dict:
+    surface = {name: sorted(module.__all__)
+               for name, module in SURFACE_MODULES.items()}
+    surface["repro.protocols.FailureKind"] = sorted(
+        kind.value for kind in FailureKind)
+    return surface
 
 
 def load_manifest() -> dict:
@@ -42,69 +57,39 @@ def load_manifest() -> dict:
 
 
 class TestSurfaceSnapshot:
-    def test_repro_exports_match_manifest(self):
+    @pytest.mark.parametrize("module_name", sorted(SURFACE_MODULES))
+    def test_exports_match_manifest(self, module_name):
         manifest = load_manifest()
-        assert sorted(repro.__all__) == manifest["repro"], (
-            "repro.__all__ drifted from tests/api_surface.json — "
+        module = SURFACE_MODULES[module_name]
+        assert sorted(module.__all__) == manifest[module_name], (
+            f"{module_name}.__all__ drifted from tests/api_surface.json — "
             "update the manifest if the change is intentional"
         )
 
-    def test_service_exports_match_manifest(self):
+    def test_failure_kinds_match_manifest(self):
+        # The failure taxonomy is wire format: clients aggregate and
+        # retry by these strings, so members only ever get *added*.
         manifest = load_manifest()
-        assert sorted(repro.service.__all__) == manifest["repro.service"], (
-            "repro.service.__all__ drifted from tests/api_surface.json — "
-            "update the manifest if the change is intentional"
-        )
-
-    def test_storage_exports_match_manifest(self):
-        manifest = load_manifest()
-        assert sorted(repro.fleet.storage.__all__) == \
-            manifest["repro.fleet.storage"], (
-                "repro.fleet.storage.__all__ drifted from "
-                "tests/api_surface.json — update the manifest if the "
-                "change is intentional"
+        assert sorted(kind.value for kind in FailureKind) == \
+            manifest["repro.protocols.FailureKind"], (
+                "FailureKind drifted from tests/api_surface.json — "
+                "update the manifest if the change is intentional"
             )
 
-    def test_backend_exports_match_manifest(self):
+    def test_manifest_covers_exactly_the_pinned_surfaces(self):
         manifest = load_manifest()
-        assert sorted(repro.photonics.backend.__all__) == \
-            manifest["repro.photonics.backend"], (
-                "repro.photonics.backend.__all__ drifted from "
-                "tests/api_surface.json — update the manifest if the "
-                "change is intentional"
-            )
+        assert sorted(manifest) == sorted(current_surface())
 
-    def test_net_exports_match_manifest(self):
-        manifest = load_manifest()
-        assert sorted(repro.service.net.__all__) == \
-            manifest["repro.service.net"], (
-                "repro.service.net.__all__ drifted from "
-                "tests/api_surface.json — update the manifest if the "
-                "change is intentional"
-            )
+    @pytest.mark.parametrize("module_name", sorted(SURFACE_MODULES))
+    def test_every_export_resolves(self, module_name):
+        module = SURFACE_MODULES[module_name]
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, name
 
-    def test_every_export_resolves(self):
-        for name in repro.__all__:
-            assert getattr(repro, name, None) is not None, name
-        for name in repro.fleet.storage.__all__:
-            assert getattr(repro.fleet.storage, name, None) is not None, name
-        for name in repro.photonics.backend.__all__:
-            assert getattr(repro.photonics.backend, name, None) is not None, \
-                name
-        for name in repro.service.__all__:
-            assert getattr(repro.service, name, None) is not None, name
-        for name in repro.service.net.__all__:
-            assert getattr(repro.service.net, name, None) is not None, name
-
-    def test_no_duplicate_exports(self):
-        assert len(set(repro.__all__)) == len(repro.__all__)
-        assert len(set(repro.fleet.storage.__all__)) == \
-            len(repro.fleet.storage.__all__)
-        assert len(set(repro.photonics.backend.__all__)) == \
-            len(repro.photonics.backend.__all__)
-        assert len(set(repro.service.__all__)) == len(repro.service.__all__)
-        assert len(set(repro.service.net.__all__)) == \
-            len(repro.service.net.__all__)
+    @pytest.mark.parametrize("module_name", sorted(SURFACE_MODULES))
+    def test_no_duplicate_exports(self, module_name):
+        module = SURFACE_MODULES[module_name]
+        assert len(set(module.__all__)) == len(module.__all__)
 
 
 class TestSupportedEntryPoints:
@@ -125,6 +110,20 @@ class TestSupportedEntryPoints:
                      "spot_check", "open_round_wire", "verify_round_wire"):
             assert callable(
                 getattr(repro.service.net.AuthClient, verb)), verb
+
+    def test_ha_client_mirrors_retryable_verbs(self):
+        # The HA redesign's contract: everything a single-endpoint
+        # client can do safely under retry, the failover client does
+        # across endpoints.
+        for verb in ("enroll", "revoke", "authenticate", "flush", "poll",
+                     "spot_check"):
+            assert callable(
+                getattr(repro.service.ha.HAAuthClient, verb)), verb
+
+    def test_network_transient_kinds_are_valid_taxonomy(self):
+        from repro.service.policy import NETWORK_TRANSIENT_KINDS
+        taxonomy = {kind.value for kind in FailureKind}
+        assert NETWORK_TRANSIENT_KINDS <= taxonomy
 
     def test_deprecated_shims_still_importable(self):
         # Importing must not warn (calling does) — pinned so the shims
