@@ -15,6 +15,9 @@ Subpackages
 - :mod:`repro.fleet` — fleet-scale enrollment registry + batch authentication
 - :mod:`repro.service` — the supported service boundary: ``AuthService``
   facade, declarative ``FleetConfig``, policies, versioned wire codec
+- :mod:`repro.obs` — observability plane: metrics registry, round
+  tracing, Prometheus/JSON export, wire-scrapeable via the 1.2
+  ``metrics``/``trace`` admin verbs
 
 Quickstart
 ----------
@@ -47,7 +50,7 @@ from repro.puf import (
 )
 from repro.system import DeviceSoC, SoCConfig
 
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 __all__ = [
     "provision",

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import bisect
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
@@ -228,6 +228,25 @@ class CampaignStats:
         payload = asdict(self)
         payload["auths_per_sec"] = round(self.auths_per_sec, 3)
         return payload
+
+    def to_state(self) -> dict:
+        """A JSON-faithful snapshot: ``from_state(to_state())`` is
+        equality (``to_json`` adds the derived rate, this does not)."""
+        return asdict(self)
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CampaignStats":
+        """Rebuild from :meth:`to_state` output (or a JSON round-trip
+        of it); unknown keys — e.g. ``auths_per_sec`` from
+        :meth:`to_json` — are ignored."""
+        names = {f.name for f in fields(cls)}
+        kwargs = {name: value for name, value in state.items()
+                  if name in names}
+        if "failures_by_kind" in kwargs:
+            kwargs["failures_by_kind"] = {
+                str(kind): int(count)
+                for kind, count in kwargs["failures_by_kind"].items()}
+        return cls(**kwargs)
 
 
 @dataclass

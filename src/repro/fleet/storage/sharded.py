@@ -136,6 +136,7 @@ class ShardedFileBackend(RegistryBackend):
         self._pool_maps: List[Optional[mmap.mmap]] = []
         self.stats = {"faults": 0, "evictions": 0, "wal_records": 0,
                       "checkpoints": 0}
+        self._obs = None                 # set by repro.obs.instrument_backend
         existing = os.path.exists(self._dir_manifest_path())
         if existing:
             self._open_existing(replay_journal=replay_journal)
@@ -554,11 +555,14 @@ class ShardedFileBackend(RegistryBackend):
         if not (self._dirty or self._dirty_shards or self._wal_end
                 or self._txn_buffer):
             return self.generation
+        obs = self._obs
+        started = obs.registry.clock() if obs is not None else 0.0
+        written = 0
         for device_id in self._dirty:
             entry = self._index[device_id]
-            os.pwrite(self._state_fds[entry.shard],
-                      self._slot_bytes(entry, entry.record),
-                      entry.state_off)
+            blob = self._slot_bytes(entry, entry.record)
+            os.pwrite(self._state_fds[entry.shard], blob, entry.state_off)
+            written += len(blob)
             entry.dirty = False
             self._resident[device_id] = None
         self._dirty.clear()
@@ -571,6 +575,8 @@ class ShardedFileBackend(RegistryBackend):
         self.generation += 1
         self._write_dir_manifest()
         self.stats["checkpoints"] += 1
+        if obs is not None:
+            obs.on_checkpoint(written, obs.registry.clock() - started)
         self._evict_excess()
         return self.generation
 

@@ -439,6 +439,9 @@ class BatchVerifier:
         # device_id -> (round nonce, candidate response): the nonce lets
         # finalize/abort acks prove which round they belong to.
         self._pending: Dict[str, Tuple[bytes, np.ndarray]] = {}
+        # Observability hook (repro.obs.ServiceObs); None costs one
+        # attribute load per round, and no hook may touch the RNG.
+        self._obs = None
 
     @property
     def stream_epoch(self) -> int:
@@ -459,6 +462,8 @@ class BatchVerifier:
                                  self.stream_epoch, self._nonce_counter)
             self._nonce_counter += 1
             nonces[device_id] = nonce
+        if self._obs is not None:
+            self._obs.on_challenge(self, nonces)
         return nonces
 
     def verify_round(self, responses: Sequence[AuthResponse],
@@ -482,6 +487,8 @@ class BatchVerifier:
         """
         report = BatchAuthReport()
         self._verify_round_into(report, responses, nonces, set())
+        if self._obs is not None:
+            self._obs.on_verify(self, report)
         return report
 
     def _verify_round_into(self, report: BatchAuthReport,
@@ -685,6 +692,8 @@ class BatchVerifier:
                 # The completed session's replay tags are obsolete (its
                 # messages now fail the session-index check).
                 self._seen_tags.pop(response.device_id, None)
+                if self._obs is not None:
+                    self._obs.on_recovered(self)
 
     def finalize(self, device_id: str,
                  token: Optional[bytes] = None) -> None:
@@ -715,6 +724,8 @@ class BatchVerifier:
         # A finalized session's messages fail the session-index check, so
         # their replay tags can be dropped.
         self._seen_tags.pop(device_id, None)
+        if self._obs is not None:
+            self._obs.on_finalize(self, device_id)
 
     def expose(self, device_id: str) -> None:
         """Record that this device's confirmation is leaving the server.
@@ -756,6 +767,8 @@ class BatchVerifier:
             if token is not None and bytes(token) != pending[0]:
                 return
             del self._pending[device_id]
+            if self._obs is not None:
+                self._obs.on_abort(self, device_id)
         if ambiguous or self.commit_log is None:
             return
         entry = self.commit_log.get(device_id)
@@ -824,6 +837,11 @@ class BatchVerifier:
         for __, messages in respond_round_staged(devices, nonces):
             self._verify_round_into(report, messages, nonces,
                                     seen_this_round)
+        if self._obs is not None:
+            # Before the commit sweep: "accepted" means a confirmation
+            # was issued, matching the wire path's verify_round; the
+            # sweep's finalize/abort hooks then settle each one.
+            self._obs.on_verify(self, report)
         # One backend transaction for the whole commit sweep: on a
         # journaling backend the round's rolls group-commit as a single
         # write instead of one per device.
@@ -835,6 +853,8 @@ class BatchVerifier:
                 try:
                     device.confirm(confirmation, nonces[device.device_id])
                 except AuthenticationFailure as failure:
+                    if self._obs is not None:
+                        self._obs.on_result(failure.kind.value)
                     report.record_failure(
                         device.device_id,
                         AuthenticationFailure(f"confirmation: {failure}",
@@ -996,6 +1016,8 @@ class RoundCoalescer:
         self.submitted = 0
         self.flushed_by_size = 0
         self.flushed_by_deadline = 0
+        # Observability hook (repro.obs.ServiceObs), None when unwired.
+        self._obs = None
 
     @property
     def pending_count(self) -> int:
@@ -1034,6 +1056,8 @@ class RoundCoalescer:
         self._pending.append((device, ticket))
         self._pending_ids.add(device.device_id)
         self.submitted += 1
+        if self._obs is not None:
+            self._obs.on_coalescer_submit(len(self._pending))
         if self._deadline is None:
             self._deadline = self._clock() + self.latency_budget_s
         if len(self._pending) >= self.max_batch:
@@ -1082,6 +1106,8 @@ class RoundCoalescer:
         if not pending:
             return None
         self.micro_rounds += 1
+        if self._obs is not None:
+            self._obs.on_coalescer_flush(len(pending))
         try:
             report = self.verifier.authenticate_fleet(
                 [device for device, __ in pending]

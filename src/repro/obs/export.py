@@ -1,0 +1,148 @@
+"""Renderers for :meth:`repro.obs.MetricsRegistry.snapshot`.
+
+Two output formats:
+
+- :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``_total``-suffixed counters,
+  cumulative ``_bucket{le=...}`` histogram series ending in ``+Inf``,
+  label values escaped per the spec).  Deterministic: metrics render
+  name-sorted and series label-sorted, and floats format through
+  :func:`format_value`, so a seeded campaign scrapes to a stable
+  golden file.
+- :func:`render_json` — the snapshot as canonical JSON (sorted keys),
+  for the dashboard replay path and programmatic consumers.
+
+:func:`parse_prometheus` is the tiny inverse used by the
+reconciliation tests and the dashboard live-tail: it reads sample
+lines (ignoring comments) back into a ``{(name, labels): value}``
+map.  It parses only what :func:`render_prometheus` emits — it is not
+a general scrape parser.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "format_value",
+    "parse_prometheus",
+    "render_json",
+    "render_prometheus",
+]
+
+
+def _escape_label_value(value: str) -> str:
+    """Backslash, double-quote and newline escaping per the spec."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Deterministic sample formatting: ints bare, floats via repr."""
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_block(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{name}="{_escape_label_value(str(value))}"'
+             for name, value in labels.items()]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot to Prometheus text format."""
+    lines = []
+    for metric in snapshot["metrics"]:
+        name = metric["name"]
+        kind = metric["kind"]
+        rendered = name
+        if kind == "counter" and not name.endswith("_total"):
+            rendered = name + "_total"
+        lines.append(f"# HELP {rendered} {_escape_help(metric['help'])}")
+        lines.append(f"# TYPE {rendered} {kind}")
+        if kind == "histogram":
+            bounds = metric["bounds"]
+            for sample in metric["samples"]:
+                labels = sample["labels"]
+                cumulative = 0
+                for bound, count in zip(bounds, sample["buckets"]):
+                    cumulative += count
+                    block = _label_block(
+                        labels, f'le="{format_value(bound)}"')
+                    lines.append(f"{rendered}_bucket{block} "
+                                 f"{format_value(cumulative)}")
+                cumulative += sample["buckets"][-1]
+                block = _label_block(labels, 'le="+Inf"')
+                lines.append(f"{rendered}_bucket{block} "
+                             f"{format_value(cumulative)}")
+                block = _label_block(labels)
+                lines.append(f"{rendered}_sum{block} "
+                             f"{format_value(sample['sum'])}")
+                lines.append(f"{rendered}_count{block} "
+                             f"{format_value(sample['count'])}")
+        else:
+            for sample in metric["samples"]:
+                block = _label_block(sample["labels"])
+                lines.append(f"{rendered}{block} "
+                             f"{format_value(sample['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_json(snapshot: dict, indent: Optional[int] = None) -> str:
+    """Canonical JSON rendering of a snapshot (sorted keys)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def _parse_labels(block: str) -> Tuple[Tuple[str, str], ...]:
+    labels = []
+    position = 0
+    while position < len(block):
+        equals = block.index("=", position)
+        name = block[position:equals]
+        assert block[equals + 1] == '"'
+        position = equals + 2
+        value = []
+        while block[position] != '"':
+            if block[position] == "\\":
+                escaped = block[position + 1]
+                value.append({"n": "\n", '"': '"', "\\": "\\"}[escaped])
+                position += 2
+            else:
+                value.append(block[position])
+                position += 1
+        labels.append((name, "".join(value)))
+        position += 1  # closing quote
+        if position < len(block) and block[position] == ",":
+            position += 1
+    return tuple(labels)
+
+
+def parse_prometheus(text: str) \
+        -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse rendered text back to ``{(name, sorted labels): value}``."""
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        metric, _, value = line.rpartition(" ")
+        if "{" in metric:
+            name, _, rest = metric.partition("{")
+            labels = _parse_labels(rest.rstrip("}"))
+        else:
+            name, labels = metric, ()
+        samples[(name, tuple(sorted(labels)))] = float(value)
+    return samples

@@ -1,0 +1,124 @@
+"""Per-round trace spans in a bounded ring.
+
+A :class:`TraceSpan` records the life of one authentication round —
+``submit`` → ``flush`` → ``challenge`` → ``verify`` →
+``finalize``/``abort`` — as ``(event, timestamp)`` marks from the
+registry's injectable clock, together with the device ids in the
+round, the replica index and incarnation that served it, and the hex
+prefix of each device's round nonce.  The nonce prefix is the join
+key against the durable :class:`repro.fleet.verifier.CommitLog` and
+the :class:`repro.service.policy.AuditLogPolicy` ring (whose entries
+carry the same clock + incarnation since 0.8.0), so an operator can
+walk from a scraped span to the exact commit-log entry it parked.
+
+Spans live in a bounded ``deque`` ring — old rounds fall off the back,
+memory stays flat over million-round campaigns — and export as plain
+JSON via :meth:`RoundTracer.to_json` (served by the ``trace`` admin
+verb on wire 1.2).
+
+Tracing never touches an RNG and never reads the wall clock behind
+the injectable one: enabling it cannot perturb nonce streams or
+transcripts (pinned by tests/obs/test_noninterference.py).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+__all__ = ["RoundTracer", "TraceSpan"]
+
+#: Bytes of each round nonce kept on a span as the commit-log join key.
+NONCE_PREFIX_BYTES = 8
+
+
+class TraceSpan:
+    """One round's event timeline (mutable until finished)."""
+
+    __slots__ = ("round_id", "device_ids", "replica", "incarnation",
+                 "events", "status", "nonces")
+
+    def __init__(self, round_id: int, device_ids: Sequence[str] = (),
+                 replica: int = 0, incarnation: int = 0):
+        self.round_id = int(round_id)
+        self.device_ids = list(device_ids)
+        self.replica = int(replica)
+        self.incarnation = int(incarnation)
+        self.events: List[tuple] = []  # (name, timestamp) in mark order
+        self.status = "open"
+        self.nonces: Dict[str, str] = {}  # device_id -> nonce hex prefix
+
+    def mark(self, event: str, timestamp: float) -> None:
+        self.events.append((str(event), float(timestamp)))
+
+    def correlate(self, nonces: Dict[str, bytes]) -> None:
+        """Stamp the round's nonce prefixes (the commit-log join key)."""
+        for device_id, nonce in nonces.items():
+            self.nonces[str(device_id)] = \
+                bytes(nonce)[:NONCE_PREFIX_BYTES].hex()
+
+    def to_json(self) -> dict:
+        return {
+            "round_id": self.round_id,
+            "device_ids": list(self.device_ids),
+            "replica": self.replica,
+            "incarnation": self.incarnation,
+            "status": self.status,
+            "events": [[name, ts] for name, ts in self.events],
+            "nonces": dict(self.nonces),
+        }
+
+
+class RoundTracer:
+    """Bounded ring of round spans with an injectable clock."""
+
+    def __init__(self, capacity: int = 256,
+                 clock: Callable[[], float] = time.monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        self.clock = clock
+        self._ring: Deque[TraceSpan] = deque(maxlen=self.capacity)
+        self._next_round_id = 0
+        self.dropped = 0  # spans pushed off the back of the ring
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def begin(self, device_ids: Sequence[str] = (), replica: int = 0,
+              incarnation: int = 0) -> TraceSpan:
+        """Open a span and append it to the ring immediately.
+
+        Appending on ``begin`` (not on finish) means a round that dies
+        mid-flight still leaves its partial span behind — exactly the
+        rounds an operator wants to see.
+        """
+        span = TraceSpan(self._next_round_id, device_ids, replica,
+                         incarnation)
+        self._next_round_id += 1
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(span)
+        return span
+
+    def mark(self, span: TraceSpan, event: str) -> None:
+        span.mark(event, self.clock())
+
+    def finish(self, span: TraceSpan, status: str) -> None:
+        span.status = str(status)
+
+    def spans(self) -> List[TraceSpan]:
+        """Oldest-first snapshot of the ring."""
+        return list(self._ring)
+
+    def find(self, device_id: str) -> List[TraceSpan]:
+        """Every retained span that touched ``device_id``."""
+        return [span for span in self._ring
+                if device_id in span.device_ids]
+
+    def last(self) -> Optional[TraceSpan]:
+        return self._ring[-1] if self._ring else None
+
+    def to_json(self) -> List[dict]:
+        return [span.to_json() for span in self._ring]

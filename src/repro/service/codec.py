@@ -32,11 +32,18 @@ Wire format history
 -------------------
 * **1.0** — the four protocol frames: ``CHALLENGE``, ``RESPONSE``,
   ``CONFIRMATION``, ``REPORT``.
-* **1.1** (current) — adds the *session layer* spoken by
+* **1.1** — adds the *session layer* spoken by
   :mod:`repro.service.net`: ``HELLO`` / ``WELCOME`` (version
   negotiation), ``REJECT`` (taxonomy-coded transport refusal), and the
   generic ``REQUEST`` / ``RESULT`` verb envelopes.  Purely additive:
   every 1.0 frame encodes and decodes byte-identically under 1.1.
+* **1.2** (current) — adds the *admin verbs* ``metrics`` and ``trace``
+  (:mod:`repro.obs` scrapes over the existing socket layer).  No new
+  frame types: the verbs ride the 1.1 ``REQUEST`` / ``RESULT``
+  envelopes, so the bump is only a capability gate — a server refuses
+  the verbs on connections whose negotiated minor is below 2
+  (``unsupported-version``), and every 1.1 frame still encodes and
+  decodes byte-identically under 1.2.
 
 Version negotiation rules (see :func:`negotiate_version`):
 
@@ -71,7 +78,7 @@ from repro.utils.serialization import decode_fields, encode_fields
 
 MAGIC = b"RW"  # "repro wire"
 SCHEMA_MAJOR = 1
-SCHEMA_MINOR = 1
+SCHEMA_MINOR = 2
 
 _HEADER = struct.Struct(">2sBBB")
 

@@ -118,16 +118,21 @@ class AuthService:
         )
         self.policies: List[ServicePolicy] = list(policies)
         self._clock = clock
+        # Observability hook (repro.obs.ServiceObs via
+        # instrument_service); None costs one attribute load per verb.
+        self._obs = None
         self.coalescer = self._build_coalescer()
         self._owned_plane = None
 
     def _build_coalescer(self) -> RoundCoalescer:
-        return RoundCoalescer(
+        coalescer = RoundCoalescer(
             self.verifier,
             latency_budget_s=self.config.latency_budget_s,
             max_batch=self.config.max_batch,
             clock=self._clock,
         )
+        coalescer._obs = getattr(self, "_obs", None)
+        return coalescer
 
     # -- construction ------------------------------------------------------
 
@@ -250,6 +255,8 @@ class AuthService:
         )
         self._devices[device.device_id] = device
         run_hooks(self.policies, "on_enroll", device.device_id)
+        if self._obs is not None:
+            self._obs.on_enroll()
         return record
 
     def revoke(self, device_id: str):
@@ -263,6 +270,8 @@ class AuthService:
         self.verifier.evict(device_id)
         self._devices.pop(device_id, None)
         run_hooks(self.policies, "on_revoke", device_id)
+        if self._obs is not None:
+            self._obs.on_revoke()
         return record
 
     # -- authentication ----------------------------------------------------
@@ -298,6 +307,8 @@ class AuthService:
         and the surviving devices run through the pipelined batch
         verifier exactly as one fleet round.
         """
+        obs = self._obs
+        started = self._clock() if obs is not None else 0.0
         devices = self._resolve_all(devices)
         denied: List[Tuple[str, AuthenticationFailure]] = []
         admitted: List[FleetDevice] = []
@@ -314,6 +325,8 @@ class AuthService:
         for device_id, failure in denied:
             report.record_failure(device_id, failure)
         run_hooks(self.policies, "after_round", report)
+        if obs is not None:
+            obs.on_round(report, self._clock() - started, "batch")
         return report
 
     def submit(self, device: DeviceLike) -> CoalescedAuth:
@@ -336,16 +349,24 @@ class AuthService:
 
     def poll(self) -> Optional[BatchAuthReport]:
         """Flush the pending micro-round once its latency budget expires."""
+        obs = self._obs
+        started = self._clock() if obs is not None else 0.0
         report = self.coalescer.poll()
         if report is not None:
             run_hooks(self.policies, "after_round", report)
+            if obs is not None:
+                obs.on_round(report, self._clock() - started, "poll")
         return report
 
     def flush(self) -> Optional[BatchAuthReport]:
         """Flush the pending micro-round now."""
+        obs = self._obs
+        started = self._clock() if obs is not None else 0.0
         report = self.coalescer.flush()
         if report is not None:
             run_hooks(self.policies, "after_round", report)
+            if obs is not None:
+                obs.on_round(report, self._clock() - started, "flush")
         return report
 
     def spot_check(self, devices: Optional[Sequence[DeviceLike]] = None,
@@ -394,8 +415,12 @@ class AuthService:
                     f"{type(message).__name__}"
                 )
             messages.append(message)
+        obs = self._obs
+        started = self._clock() if obs is not None else 0.0
         report = self.verifier.verify_round(messages, nonces)
         run_hooks(self.policies, "after_round", report)
+        if obs is not None:
+            obs.on_round(report, self._clock() - started, "wire")
         confirmations = {
             device_id: encode_message(AuthConfirmation(device_id, mac))
             for device_id, mac in report.confirmations.items()
@@ -459,6 +484,10 @@ class AuthService:
             if device_id in self.registry
         }
         self.coalescer = self._build_coalescer()
+        if self._obs is not None:
+            # The restored verifier and coalescer are new objects; keep
+            # them on the same registry as the service they serve.
+            self._obs.bind(self)
 
     @staticmethod
     def _registry_target_backend(manifest: dict, config: FleetConfig):

@@ -148,6 +148,7 @@ class ReplicaGroup:
         self.issued_nonces: List[bytes] = []
         self.events: List[dict] = []
         self.promotions = 0
+        self._obs = None                 # set by instrument_replica_group
         # Durable per-replica epoch floors: bumped at every verifier
         # incarnation (start, restore, attach-promotion), never reused.
         self._epochs = [0] * self.ha.n_replicas
@@ -232,10 +233,21 @@ class ReplicaGroup:
         await replica.server.start()
         replica.alive = True
         replica.starts += 1
+        self._bind_incarnation(replica)
         if replica.chaos is not None:
             # The stable proxy endpoint re-targets the fresh port.
             replica.chaos.target_host = replica.server.host
             replica.chaos.target_port = replica.server.port
+        if self._obs is not None:
+            self._obs.rebind(self)
+
+    def _bind_incarnation(self, replica: _Replica) -> None:
+        """Stamp this replica's boot identity onto every policy that
+        joins audit lines with traces (runs instrumented or not)."""
+        for policy in replica.service.policies:
+            bind = getattr(policy, "bind_incarnation", None)
+            if bind is not None:
+                bind(replica.starts, replica=replica.index)
 
     async def aclose(self) -> None:
         if self._closing:
@@ -308,11 +320,15 @@ class ReplicaGroup:
         if self.lease.held_by(index, now):
             return None
         if self.lease.holder == index:
-            return AuthenticationFailure(
+            refusal = AuthenticationFailure(
                 f"replica {index} lost its lease", FailureKind.LEASE_EXPIRED)
-        return AuthenticationFailure(
-            f"replica {index} is not the primary",
-            FailureKind.REPLICA_UNAVAILABLE)
+        else:
+            refusal = AuthenticationFailure(
+                f"replica {index} is not the primary",
+                FailureKind.REPLICA_UNAVAILABLE)
+        if self._obs is not None:
+            self._obs.on_fenced(refusal.kind.value)
+        return refusal
 
     def lease_tick(self, now: Optional[float] = None) -> None:
         """One steward evaluation: heartbeat or promote.  Exposed so
@@ -338,6 +354,9 @@ class ReplicaGroup:
             await asyncio.sleep(interval)
 
     def _grant_lease(self, index: int, now: float) -> None:
+        if self._obs is not None:
+            self._obs.on_lease(
+                "grant" if self.lease.holder != index else "regrant")
         self.lease.holder = index
         self.lease.expires_at = now + self.ha.lease_timeout_s
         self.events.append({"event": "lease", "replica": index,
@@ -350,10 +369,13 @@ class ReplicaGroup:
             # The constructor (not .attach) resumes *with* write-ahead
             # journal replay, so every roll the dead primary finalized
             # after its last checkpoint survives the handoff.
+            attach_started = self._clock()
             backend = ShardedFileBackend(
                 self.config.storage_root,
                 resident_records=int(self.config.resident_records or 65536))
             registry = FleetRegistry(backend)
+            if self._obs is not None:
+                self._obs.on_wal_replay(self._clock() - attach_started)
             self._registries.append(registry)
             replica.service.registry = registry
             replica.service.verifier = self._make_verifier(index, registry)
@@ -361,6 +383,10 @@ class ReplicaGroup:
         self.promotions += 1
         self.events.append({"event": "promote", "replica": index,
                             "at": now})
+        self._bind_incarnation(replica)
+        if self._obs is not None:
+            self._obs.on_promotion()
+            self._obs.rebind(self)
         self._grant_lease(index, now)
 
     async def wait_for_primary(self, timeout: float = 5.0) -> int:
@@ -572,6 +598,36 @@ class HAAuthClient:
                          threshold: float = 0.25) -> Tuple[float, bool]:
         return await self._call(
             lambda client: client.spot_check(device, k, threshold))
+
+    async def scrape(self, fmt: str = "prometheus",
+                     index: Optional[int] = None) -> str:
+        """Scrape metrics from a replica (wire 1.2 ``metrics`` verb).
+
+        With ``index=None`` the active connection is used (failing over
+        like any other verb); naming an index dials that endpoint
+        one-shot — the verb is unfenced, so standbys answer too, and
+        under :func:`repro.obs.instrument_replica_group` every replica
+        serves the same fleet-wide registry.
+        """
+        if index is None:
+            return await self._call(lambda client: client.metrics(fmt))
+        host, port = self.endpoints[index]
+        async with AuthClient.connect(
+                host, port, peer=self.peer,
+                handshake_timeout_s=self.handshake_timeout_s,
+                response_timeout_s=self.verb_timeout_s) as client:
+            return await client.metrics(fmt)
+
+    async def trace(self, index: Optional[int] = None) -> list:
+        """Fetch recent round spans from a replica (wire 1.2)."""
+        if index is None:
+            return await self._call(lambda client: client.trace())
+        host, port = self.endpoints[index]
+        async with AuthClient.connect(
+                host, port, peer=self.peer,
+                handshake_timeout_s=self.handshake_timeout_s,
+                response_timeout_s=self.verb_timeout_s) as client:
+            return await client.trace()
 
     async def _call(self, op, ambiguous_ok: frozenset = frozenset()):
         """Run one idempotent-or-ambiguity-tolerant verb with failover.

@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import asyncio
 import struct
-from dataclasses import dataclass, fields
-from typing import Dict, Optional, Set
+from dataclasses import dataclass
+from typing import Optional, Set
 
+from repro.obs.instrument import RegistryBackedCounters
 from repro.utils.rng import derive_rng
 
 __all__ = ["ChaosMetrics", "ChaosTransport", "LegChaos"]
@@ -69,21 +70,33 @@ class LegChaos:
             )
 
 
-@dataclass
-class ChaosMetrics:
-    """What the proxy actually did; plain ints only."""
+class ChaosMetrics(RegistryBackedCounters):
+    """What the proxy actually did; the plain-int attribute API is
+    unchanged, but the counts now live as ``repro_net_chaos_*`` series
+    on a :class:`~repro.obs.MetricsRegistry`.
 
-    connections_opened: int = 0
-    connections_killed: int = 0
-    frames_forwarded: int = 0
-    frames_dropped: int = 0
-    frames_delayed: int = 0
-    frames_duplicated: int = 0
-    frames_truncated: int = 0
-    legs_blackholed: int = 0
+    .. deprecated:: 0.8.0
+        Constructing ``ChaosMetrics()`` standalone is deprecated;
+        attach a shared registry with
+        :func:`repro.obs.instrument_chaos` instead.
+    """
 
-    def to_json(self) -> Dict[str, int]:
-        return {f.name: int(getattr(self, f.name)) for f in fields(self)}
+    _PREFIX = "repro_net_chaos_"
+    _FIELDS = (
+        "connections_opened", "connections_killed", "frames_forwarded",
+        "frames_dropped", "frames_delayed", "frames_duplicated",
+        "frames_truncated", "legs_blackholed",
+    )
+    _HELP = {
+        "connections_opened": "Proxied connections accepted",
+        "connections_killed": "Connections severed by kill_connections",
+        "frames_forwarded": "Frames forwarded intact",
+        "frames_dropped": "Frames silently dropped",
+        "frames_delayed": "Frames held for a delay draw",
+        "frames_duplicated": "Frames forwarded twice",
+        "frames_truncated": "Frames torn mid-body (connection killed)",
+        "legs_blackholed": "Legs gone permanently silent",
+    }
 
 
 class _TornFrame(Exception):
@@ -118,7 +131,7 @@ class ChaosTransport:
         self.spare_handshake = bool(spare_handshake)
         self._host = host
         self._port = int(port)
-        self.metrics = ChaosMetrics()
+        self.metrics = ChaosMetrics._for_owner()
         self._server: Optional[asyncio.base_events.Server] = None
         self._handlers: Set[asyncio.Task] = set()
         self._writers: Set[asyncio.StreamWriter] = set()

@@ -26,6 +26,7 @@ verifier rolls only after this client's ``finalize`` ack.
 from __future__ import annotations
 
 import asyncio
+import json
 from collections import deque
 from typing import Deque, Dict, Optional, Sequence, Tuple
 
@@ -456,6 +457,26 @@ class AuthClient:
         """Refuse a confirmation: both sides stay on the old CRP."""
         self._raise_if_failed(await self._call(
             "abort", device_id, {"round": token} if token else {}))
+
+    # -- admin verbs (wire 1.2+) ------------------------------------------
+
+    async def metrics(self, fmt: str = "prometheus") -> str:
+        """Scrape the server's metrics registry (wire 1.2+).
+
+        ``fmt`` is ``"prometheus"`` (text exposition format) or
+        ``"json"``; a 1.1 server refuses with
+        ``FailureKind.UNSUPPORTED_VERSION``.
+        """
+        result = await self._call(
+            "metrics", params={"format": fmt.encode("utf-8")})
+        self._raise_if_failed(result)
+        return result.detail.get("body", b"").decode("utf-8")
+
+    async def trace(self) -> list:
+        """Fetch the server's recent round spans as JSON (wire 1.2+)."""
+        result = await self._call("trace")
+        self._raise_if_failed(result)
+        return json.loads(result.detail.get("body", b"[]").decode("utf-8"))
 
     # -- plumbing ---------------------------------------------------------
 

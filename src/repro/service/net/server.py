@@ -53,14 +53,18 @@ confirmations are aborted before the loop stops.
 from __future__ import annotations
 
 import asyncio
+import json
 from collections import deque
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.instrument import RegistryBackedCounters
 from repro.protocols.mutual_auth import AuthenticationFailure, FailureKind
 from repro.service.codec import (
+    SCHEMA_MINOR,
     CodecError,
     SessionHello,
     SessionReject,
@@ -116,30 +120,47 @@ class NetConfig:
                 raise ValueError(f"{name} must be positive")
 
 
-@dataclass
-class ServerMetrics:
-    """Counters a served deployment would export; plain ints only."""
+class ServerMetrics(RegistryBackedCounters):
+    """Counters a served deployment exports; the attribute API (plain
+    ints, ``to_json()``) is unchanged, but the counts now live as
+    ``repro_net_server_*`` series on a
+    :class:`~repro.obs.MetricsRegistry` — scrapeable over the wire via
+    the ``metrics`` verb (wire 1.2).
 
-    connections_opened: int = 0
-    connections_closed: int = 0
-    handshakes_failed: int = 0
-    rejected_connections: int = 0
-    requests: int = 0
-    submitted: int = 0
-    micro_rounds: int = 0
-    flushed_by_size: int = 0
-    flushed_by_deadline: int = 0
-    flushed_by_duplicate: int = 0
-    retransmits_dropped: int = 0
-    auths_accepted: int = 0
-    auths_failed: int = 0
-    responses_timed_out: int = 0
-    acks_aborted: int = 0
-    reads_paused: int = 0
-    drained_tickets: int = 0
+    .. deprecated:: 0.8.0
+        Constructing ``ServerMetrics()`` standalone is deprecated (it
+        backs the counters with a private registry); attach a shared
+        one with :func:`repro.obs.instrument_server` instead.
+    """
 
-    def to_json(self) -> Dict[str, int]:
-        return {f.name: int(getattr(self, f.name)) for f in fields(self)}
+    _PREFIX = "repro_net_server_"
+    _FIELDS = (
+        "connections_opened", "connections_closed", "handshakes_failed",
+        "rejected_connections", "requests", "submitted", "micro_rounds",
+        "flushed_by_size", "flushed_by_deadline", "flushed_by_duplicate",
+        "retransmits_dropped", "auths_accepted", "auths_failed",
+        "responses_timed_out", "acks_aborted", "reads_paused",
+        "drained_tickets",
+    )
+    _HELP = {
+        "connections_opened": "Sockets accepted",
+        "connections_closed": "Sockets torn down",
+        "handshakes_failed": "Connections dropped before a valid HELLO",
+        "rejected_connections": "Connections closed with a REJECT frame",
+        "requests": "REQUEST frames dispatched",
+        "submitted": "auth tickets queued into the wire coalescer",
+        "micro_rounds": "Wire micro-rounds run",
+        "flushed_by_size": "Micro-rounds flushed by max_batch",
+        "flushed_by_deadline": "Micro-rounds flushed by latency budget",
+        "flushed_by_duplicate": "Micro-rounds flushed by duplicate device",
+        "retransmits_dropped": "Idempotent re-submits dropped",
+        "auths_accepted": "Confirmations delivered",
+        "auths_failed": "Failure RESULT frames sent",
+        "responses_timed_out": "Devices silent past response_timeout_s",
+        "acks_aborted": "Unacked confirmations aborted (ambiguous)",
+        "reads_paused": "Backpressure gate closures",
+        "drained_tickets": "Tickets flushed by graceful shutdown",
+    }
 
 
 class _Connection:
@@ -151,6 +172,7 @@ class _Connection:
         self.reader = reader
         self.writer = writer
         self.peer = "?"
+        self.minor = SCHEMA_MINOR        # negotiated wire minor (handshake)
         self.closed = False
         self.queued = 0                  # auths submitted, round not open yet
         self.gate = asyncio.Event()
@@ -253,7 +275,8 @@ class AuthServer:
         # how a ReplicaGroup keeps standbys and deposed primaries from
         # opening rounds (see repro.service.ha).
         self.fence = fence
-        self.metrics = ServerMetrics()
+        self.metrics = ServerMetrics._for_owner()
+        self._obs = None
         self._clock = service.clock
         self._budget = (self.config.latency_budget_s
                         if self.config.latency_budget_s is not None
@@ -592,6 +615,7 @@ class AuthServer:
 
     async def _handshake(self, conn: _Connection) -> bool:
         config = self.config
+        started = self._clock()
         try:
             frame = await read_frame(conn.reader,
                                      max_bytes=config.max_frame_bytes,
@@ -623,8 +647,12 @@ class AuthServer:
             await self._reject(conn, failure.kind, str(failure))
             return False
         conn.peer = hello.peer
-        return await conn.send_message(
+        conn.minor = minor
+        welcomed = await conn.send_message(
             SessionWelcome(config.peer, major, minor))
+        if welcomed and self._obs is not None:
+            self._obs.on_handshake(self._clock() - started)
+        return welcomed
 
     async def _verb_loop(self, conn: _Connection) -> None:
         # Keeps reading while the server drains (aclose): in-flight
@@ -823,8 +851,49 @@ class AuthServer:
             self._ack_pending.discard((conn, device_id))
             await conn.send_message(SessionResult("abort", device_id))
             return
+        if verb in ("metrics", "trace"):
+            # Admin verbs, wire 1.2+.  Deliberately NOT in FENCED_VERBS:
+            # standbys and deposed primaries stay scrapeable — that is
+            # when an operator most wants to look at them.
+            if conn.minor < 2:
+                raise AuthenticationFailure(
+                    f"the {verb!r} verb requires wire version >= 1.2 "
+                    f"(negotiated 1.{conn.minor})",
+                    FailureKind.UNSUPPORTED_VERSION)
+            if verb == "metrics":
+                fmt = params.get("format", b"prometheus").decode("utf-8")
+                snapshot = self._metrics_registry().snapshot()
+                if fmt == "prometheus":
+                    body = render_prometheus(snapshot)
+                elif fmt == "json":
+                    body = render_json(snapshot)
+                else:
+                    raise AuthenticationFailure(
+                        f"unknown metrics format {fmt!r}",
+                        FailureKind.MALFORMED)
+                await conn.send_message(SessionResult(
+                    "metrics", detail={"body": body.encode("utf-8"),
+                                       "format": fmt.encode("utf-8")}))
+                return
+            obs = getattr(self.service, "_obs", None)
+            tracer = getattr(obs, "tracer", None)
+            spans = tracer.to_json() if tracer is not None else []
+            await conn.send_message(SessionResult(
+                "trace", detail={"body": json.dumps(spans).encode("utf-8")}))
+            return
         raise AuthenticationFailure(f"unknown verb {verb!r}",
                                     FailureKind.MALFORMED)
+
+    def _metrics_registry(self):
+        """The registry the ``metrics`` verb serves: the server's own
+        observer's, else the wrapped service's, else the one backing
+        the (possibly standalone) ``ServerMetrics`` shim."""
+        if self._obs is not None:
+            return self._obs.registry
+        obs = getattr(self.service, "_obs", None)
+        if obs is not None:
+            return obs.registry
+        return self.metrics._registry
 
     def _handle_enroll(self, device_id: str, params) -> None:
         try:

@@ -90,19 +90,42 @@ class AuditLogPolicy(ServicePolicy):
     in-memory ring (:attr:`events`) and optionally forwarded to a
     ``sink`` callable (a logger, a queue producer).  The ring is bounded
     so a long-lived service never grows without limit.
+
+    Every entry carries ``ts`` (the injectable monotonic ``clock`` —
+    entries used to be timeless, which made them impossible to join
+    against round traces) and ``incarnation`` (the serving replica's
+    start count, plus a ``replica`` index once
+    :meth:`bind_incarnation` names one).  A
+    :class:`~repro.service.ha.ReplicaGroup` rebinds both on every
+    start and promotion, so an audit line always says *which boot* of
+    *which replica* observed the event — the same join keys
+    :class:`repro.obs.TraceSpan` carries.
     """
 
     name = "audit"
 
     def __init__(self, sink: Optional[Callable[[dict], None]] = None,
-                 capacity: int = 10_000):
+                 capacity: int = 10_000,
+                 clock: Callable[[], float] = time.monotonic):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.events: Deque[dict] = deque(maxlen=int(capacity))
         self._sink = sink
+        self._clock = clock
+        self._incarnation = 0
+        self._replica: Optional[int] = None
+
+    def bind_incarnation(self, incarnation: int,
+                         replica: Optional[int] = None) -> None:
+        """Stamp subsequent entries with the serving boot's identity."""
+        self._incarnation = int(incarnation)
+        self._replica = None if replica is None else int(replica)
 
     def record(self, event: str, **payload) -> None:
-        entry = {"event": event, **payload}
+        entry = {"event": event, "ts": float(self._clock()),
+                 "incarnation": self._incarnation, **payload}
+        if self._replica is not None:
+            entry["replica"] = self._replica
         self.events.append(entry)
         if self._sink is not None:
             self._sink(entry)

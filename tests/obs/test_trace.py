@@ -1,0 +1,100 @@
+"""RoundTracer: bounded span ring, commit-log correlation, export."""
+
+import json
+
+from repro.obs import RoundTracer
+from repro.obs.trace import NONCE_PREFIX_BYTES
+
+
+def make_tracer(**kwargs):
+    ticks = {"now": 0.0}
+
+    def clock():
+        ticks["now"] += 1.0
+        return ticks["now"]
+
+    return RoundTracer(clock=clock, **kwargs)
+
+
+class TestSpanLifecycle:
+    def test_begin_marks_finish(self):
+        tracer = make_tracer()
+        span = tracer.begin(["dev-0", "dev-1"], replica=2, incarnation=3)
+        assert span.status == "open"
+        tracer.mark(span, "challenge")
+        tracer.mark(span, "verify")
+        tracer.finish(span, "verified")
+        assert span.round_id == 0
+        assert span.replica == 2 and span.incarnation == 3
+        assert [name for name, _ in span.events] == ["challenge", "verify"]
+        # Injected clock drives the timestamps.
+        assert [ts for _, ts in span.events] == [1.0, 2.0]
+        assert span.status == "verified"
+
+    def test_round_ids_are_sequential(self):
+        tracer = make_tracer()
+        assert [tracer.begin().round_id for _ in range(3)] == [0, 1, 2]
+
+    def test_partial_spans_survive_in_the_ring(self):
+        # Appending on begin (not finish) keeps the rounds that died
+        # mid-flight — exactly the ones an operator wants to see.
+        tracer = make_tracer()
+        span = tracer.begin(["dev-0"])
+        tracer.mark(span, "challenge")
+        retained = tracer.last()
+        assert retained is span
+        assert retained.status == "open"
+
+    def test_correlate_keeps_nonce_hex_prefixes(self):
+        tracer = make_tracer()
+        span = tracer.begin(["dev-0"])
+        nonce = bytes(range(32))
+        span.correlate({"dev-0": nonce})
+        assert span.nonces["dev-0"] == nonce[:NONCE_PREFIX_BYTES].hex()
+        assert len(span.nonces["dev-0"]) == 2 * NONCE_PREFIX_BYTES
+
+
+class TestRing:
+    def test_capacity_bounds_memory_and_counts_drops(self):
+        tracer = make_tracer(capacity=4)
+        for _ in range(10):
+            tracer.begin()
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        # Oldest fell off the back; the ring holds the newest spans.
+        assert [span.round_id for span in tracer.spans()] == [6, 7, 8, 9]
+
+    def test_find_by_device(self):
+        tracer = make_tracer()
+        tracer.begin(["dev-0", "dev-1"])
+        tracer.begin(["dev-2"])
+        tracer.begin(["dev-1"])
+        hits = tracer.find("dev-1")
+        assert [span.round_id for span in hits] == [0, 2]
+        assert tracer.find("dev-9") == []
+
+    def test_empty_ring(self):
+        tracer = make_tracer()
+        assert len(tracer) == 0
+        assert tracer.last() is None
+        assert tracer.spans() == []
+        assert tracer.to_json() == []
+
+
+class TestExport:
+    def test_to_json_is_json_serializable(self):
+        tracer = make_tracer()
+        span = tracer.begin(["dev-0"], replica=1, incarnation=2)
+        span.correlate({"dev-0": b"\x00" * 16})
+        tracer.mark(span, "challenge")
+        tracer.finish(span, "finalized")
+        payload = json.loads(json.dumps(tracer.to_json()))
+        assert payload == [{
+            "round_id": 0,
+            "device_ids": ["dev-0"],
+            "replica": 1,
+            "incarnation": 2,
+            "status": "finalized",
+            "events": [["challenge", 1.0]],
+            "nonces": {"dev-0": "00" * NONCE_PREFIX_BYTES},
+        }]

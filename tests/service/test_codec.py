@@ -221,10 +221,13 @@ class TestSessionFrames:
             assert encode_message(decoded) == frame
 
     def test_minor_version_bumped_additively(self):
-        # 1.1 is a documented minor bump: new frame types, same major.
+        # 1.1 added the session frame types; 1.2 is a documented minor
+        # bump that adds only the metrics/trace admin verbs on the
+        # existing REQUEST/RESULT envelopes — same major, no new frame
+        # types.
         from repro.service import SCHEMA_MINOR
         assert SCHEMA_MAJOR == 1
-        assert SCHEMA_MINOR == 1
+        assert SCHEMA_MINOR == 2
         for wire_type in ("HELLO", "WELCOME", "REJECT", "REQUEST",
                           "RESULT"):
             assert hasattr(WireType, wire_type)

@@ -24,6 +24,7 @@ import pytest
 
 import repro
 import repro.fleet.storage
+import repro.obs
 import repro.photonics.backend
 import repro.service
 import repro.service.ha
@@ -36,6 +37,7 @@ MANIFEST_PATH = Path(__file__).parent / "api_surface.json"
 SURFACE_MODULES = {
     "repro": repro,
     "repro.fleet.storage": repro.fleet.storage,
+    "repro.obs": repro.obs,
     "repro.photonics.backend": repro.photonics.backend,
     "repro.service": repro.service,
     "repro.service.ha": repro.service.ha,
